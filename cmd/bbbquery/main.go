@@ -1,0 +1,116 @@
+// Command bbbquery demonstrates progressive batch query evaluation from the
+// command line: it generates a synthetic temperature dataset, partitions the
+// spatial-temporal domain, and evaluates one SUM(temperature) query per cell
+// progressively with Batch-Biggest-B, printing the error trajectory and,
+// optionally, the final per-range results.
+//
+// Usage:
+//
+//	bbbquery -records 100000 -ranges 64 -penalty cursored -show-results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		records = flag.Int("records", 100_000, "number of synthetic records")
+		ranges  = flag.Int("ranges", 64, "number of partition ranges")
+		penName = flag.String("penalty", "sse", "importance penalty: sse, cursored, laplacian, firstdiff, linf")
+		cursorN = flag.Int("cursor", 8, "cursor size for -penalty cursored")
+		show    = flag.Bool("show-results", false, "print final per-range results")
+		budget  = flag.Int("budget", 0, "stop after this many retrievals (0 = run to exact)")
+	)
+	flag.Parse()
+	if err := run(*records, *ranges, *penName, *cursorN, *show, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "bbbquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(records, ranges int, penName string, cursorN int, show bool, budget int) error {
+	cfg := experiments.DefaultConfig()
+	cfg.Temperature.Records = records
+	cfg.NumRanges = ranges
+	if cursorN > ranges {
+		cursorN = ranges
+	}
+	cfg.CursorSize = cursorN
+	w, err := experiments.BuildWorkload(cfg)
+	if err != nil {
+		return err
+	}
+
+	var pen repro.Penalty
+	switch penName {
+	case "sse":
+		pen = repro.SSE()
+	case "cursored":
+		cursor := make([]int, cursorN)
+		for i := range cursor {
+			cursor[i] = i
+		}
+		pen, err = repro.CursoredSSE(len(w.Batch), cursor, 10)
+	case "laplacian":
+		pen, err = repro.LaplacianSSE(len(w.Batch))
+	case "firstdiff":
+		pen, err = repro.FirstDifferenceSSE(len(w.Batch))
+	case "linf":
+		pen = repro.LinfNorm()
+	default:
+		return fmt.Errorf("unknown penalty %q", penName)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("batch: %d SUM(temperature) queries over %d cells; plan: %d distinct coefficients (%.1fx sharing); penalty: %s\n",
+		len(w.Batch), w.Schema.Cells(), w.Plan.DistinctCoefficients(), w.Plan.SharingFactor(), pen.Name())
+
+	run := core.NewRun(w.Plan, pen, w.Store)
+	limit := w.Plan.DistinctCoefficients()
+	if budget > 0 && budget < limit {
+		limit = budget
+	}
+	fmt.Printf("%12s %22s %22s\n", "retrieved", "mean relative error", "max relative error")
+	for _, cp := range experiments.Checkpoints(limit) {
+		run.StepN(cp - run.Retrieved())
+		mean, max := relErrors(run.Estimates(), w.Truth)
+		fmt.Printf("%12d %22.6g %22.6g\n", run.Retrieved(), mean, max)
+	}
+
+	if show {
+		fmt.Printf("\n%-40s %16s %16s\n", "range (lat×lon×alt×time)", "estimate", "exact")
+		for i, r := range w.Ranges4 {
+			fmt.Printf("%-40s %16.1f %16.1f\n", r.String(), run.Estimates()[i], w.Truth[i])
+		}
+	}
+	return nil
+}
+
+func relErrors(est, truth []float64) (mean, max float64) {
+	n := 0
+	for i := range truth {
+		if truth[i] == 0 {
+			continue
+		}
+		e := math.Abs(est[i]-truth[i]) / math.Abs(truth[i])
+		mean += e
+		if e > max {
+			max = e
+		}
+		n++
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return mean, max
+}

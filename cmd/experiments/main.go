@@ -1,0 +1,208 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Observation 1, Figures 2–7) on the synthetic temperature dataset and
+// prints them as tables.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp obs1 -records 200000 -ranges 512
+//	experiments -exp fig5 -lat 32 -lon 32 -alt 8 -time 32 -temp 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/wavelet"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: obs1, fig234, fig5, fig67, dvq, layout, all")
+		records = flag.Int("records", 500_000, "number of synthetic temperature records")
+		ranges  = flag.Int("ranges", 512, "number of partition ranges (queries)")
+		lat     = flag.Int("lat", 16, "latitude bins (power of two)")
+		lon     = flag.Int("lon", 16, "longitude bins (power of two)")
+		alt     = flag.Int("alt", 4, "altitude bins (power of two)")
+		tim     = flag.Int("time", 16, "time bins (power of two)")
+		temp    = flag.Int("temp", 16, "temperature bins (power of two)")
+		seed    = flag.Int64("seed", 1, "dataset seed")
+		pseed   = flag.Int64("partition-seed", 2, "partition seed")
+		filter  = flag.String("filter", "Db4", "wavelet filter (Haar, Db4, …, Db12)")
+		cursor  = flag.Int("cursor", 20, "cursored-penalty range count (fig67)")
+		weight  = flag.Float64("cursor-weight", 10, "cursored-penalty weight (fig67)")
+		dump    = flag.String("dump", "", "directory for CSV plot series/grids (optional)")
+	)
+	flag.Parse()
+
+	if err := run(*exp, *records, *ranges, *lat, *lon, *alt, *tim, *temp, *seed, *pseed, *filter, *cursor, *weight, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// gridShape factors cfg.NumRanges into per-dimension grid cell counts that
+// divide the 4-D subdomain, or returns nil when no clean factoring exists.
+func gridShape(cfg experiments.Config) []int {
+	sizes := []int{cfg.Temperature.LatBins, cfg.Temperature.LonBins, cfg.Temperature.AltBins, cfg.Temperature.TimeBins}
+	shape := []int{1, 1, 1, 1}
+	remaining := cfg.NumRanges
+	for dim := 0; remaining > 1; dim = (dim + 1) % 4 {
+		if remaining%2 != 0 {
+			return nil
+		}
+		if shape[dim]*2 <= sizes[dim] {
+			shape[dim] *= 2
+			remaining /= 2
+		} else {
+			// This dimension is saturated; if all are, give up.
+			saturated := true
+			for i := range shape {
+				if shape[i]*2 <= sizes[i] {
+					saturated = false
+					break
+				}
+			}
+			if saturated {
+				return nil
+			}
+		}
+	}
+	return shape
+}
+
+func run(exp string, records, ranges, lat, lon, alt, tim, temp int, seed, pseed int64, filterName string, cursor int, weight float64, dumpDir string) error {
+	f, err := wavelet.ByName(filterName)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Temperature.Records = records
+	cfg.Temperature.LatBins = lat
+	cfg.Temperature.LonBins = lon
+	cfg.Temperature.AltBins = alt
+	cfg.Temperature.TimeBins = tim
+	cfg.Temperature.TempBins = temp
+	cfg.Temperature.Seed = seed
+	cfg.NumRanges = ranges
+	cfg.PartitionSeed = pseed
+	cfg.Filter = f
+	cfg.CursorSize = cursor
+	cfg.CursorWeight = weight
+
+	switch exp {
+	case "obs1", "fig5", "fig67", "dvq", "layout", "all":
+	case "fig234":
+		// Figures 2–4 use the paper's fixed 128×128 geometry; no workload.
+		res, err := experiments.RunFig234()
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		if dumpDir != "" {
+			if err := experiments.DumpFig234Grids(dumpDir, []int{25, 150}); err != nil {
+				return err
+			}
+			fmt.Printf("wrote plot grids to %s\n", dumpDir)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want obs1, fig234, fig5, fig67, dvq, all)", exp)
+	}
+
+	start := time.Now()
+	fmt.Printf("building workload: %d records, %d ranges, domain %dx%dx%dx%dx%d, filter %s\n",
+		records, ranges, lat, lon, alt, tim, temp, f.Name)
+	w, err := experiments.BuildWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload ready in %v (plan: %d distinct / %d total coefficients)\n\n",
+		time.Since(start).Round(time.Millisecond),
+		w.Plan.DistinctCoefficients(), w.Plan.TotalQueryCoefficients())
+
+	if exp == "obs1" || exp == "all" {
+		res, err := experiments.RunObs1(w)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Println()
+		if grid := gridShape(cfg); grid != nil {
+			gres, err := experiments.RunObs1Grid(w, grid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("— and on a regular %v grid partition (perfect corner sharing):\n", grid)
+			gres.WriteTable(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if exp == "all" {
+		res, err := experiments.RunFig234()
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Println()
+	}
+	if exp == "fig5" || exp == "all" {
+		series, err := experiments.RunFig5(w)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFig5Table(os.Stdout, series)
+		fmt.Println()
+		if dumpDir != "" {
+			if err := experiments.DumpFig5CSV(dumpDir, series); err != nil {
+				return err
+			}
+		}
+	}
+	if exp == "fig67" || exp == "all" {
+		res, err := experiments.RunFig67(w)
+		if err != nil {
+			return err
+		}
+		res.WriteTable(os.Stdout)
+		fmt.Println()
+		if dumpDir != "" {
+			if err := experiments.DumpFig67CSV(dumpDir, res); err != nil {
+				return err
+			}
+		}
+	}
+	if exp == "dvq" || exp == "all" {
+		rows, err := experiments.RunDataVsQueryApprox(w)
+		if err != nil {
+			return err
+		}
+		experiments.WriteDataVsQueryTable(os.Stdout, rows)
+		fmt.Println()
+		if dumpDir != "" {
+			if err := experiments.DumpDataVsQueryCSV(dumpDir, rows); err != nil {
+				return err
+			}
+		}
+	}
+	if exp == "layout" || exp == "all" {
+		const blockSize = 64
+		rows, err := experiments.RunLayoutStudy(w, blockSize)
+		if err != nil {
+			return err
+		}
+		experiments.WriteLayoutTable(os.Stdout, rows, blockSize)
+		if dumpDir != "" {
+			if err := experiments.DumpLayoutCSV(dumpDir, rows); err != nil {
+				return err
+			}
+		}
+	}
+	if dumpDir != "" {
+		fmt.Printf("\nwrote CSV series to %s\n", dumpDir)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command wvqd serves a persisted wavelet database over HTTP — the
+// precompute-once, query-many deployment of the system:
+//
+//	wvload -in data.csv -cols "age:64,salary:128" -out db.wvdb
+//	wvqd -db db.wvdb -addr :8080 &
+//	curl -s localhost:8080/query -d '{
+//	    "statements": "SUM(salary) WHERE age BETWEEN 20 AND 40 GROUP BY age(8)",
+//	    "budget": 200
+//	}'
+//
+// Progressive responses (budget below the master-list size) carry per-query
+// worst-case error bounds; /stats reports the view's metadata and cumulative
+// retrieval count; /healthz serves liveness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbPath = flag.String("db", "temperature.wvdb", "database file to serve")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "wvqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, addr string) error {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
+	}
+	db, err := repro.LoadDatabase(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s: %d tuples over %v/%v (%d coefficients, filter %s)\n",
+		dbPath, addr, db.TupleCount(), db.Schema().Names, db.Schema().Sizes,
+		db.NonzeroCoefficients(), db.Filter().Name)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(db),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

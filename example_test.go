@@ -1,0 +1,92 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The basic flow: load a relation, build the materialized wavelet view, and
+// evaluate a batch of range-sums exactly.
+func Example() {
+	schema, err := repro.NewSchema([]string{"age", "salary"}, []int{64, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := repro.NewDistribution(schema)
+	dist.AddTuple([]int{33, 55})
+	dist.AddTuple([]int{35, 40})
+	dist.AddTuple([]int{52, 61})
+
+	db, err := repro.NewDatabase(dist, repro.Db4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := repro.ParseBatch(schema, `
+		COUNT()     WHERE age BETWEEN 30 AND 40;
+		SUM(salary) WHERE age BETWEEN 30 AND 40
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Plan(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results := db.Exact(plan)
+	fmt.Printf("count=%.0f sum=%.0f\n", results[0], results[1])
+	// Output: count=2 sum=95
+}
+
+// Progressive evaluation with a structural error penalty: stop early and
+// read off estimates together with the Theorem 1 worst-case bound.
+func ExampleDatabase_NewRun() {
+	schema, err := repro.NewSchema([]string{"x", "m"}, []int{32, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist := repro.NewDistribution(schema)
+	for x := 0; x < 32; x++ {
+		for k := 0; k <= x%4; k++ {
+			dist.AddTuple([]int{x, (3 * x) % 16})
+		}
+	}
+	db, err := repro.NewDatabase(dist, repro.Db4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranges, err := repro.GridPartition(schema, []int{4, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := repro.SumBatch(schema, ranges, "m")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := db.Plan(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := db.NewRun(plan, repro.SSE())
+	run.StepN(10)
+	boundEarly := run.WorstCaseBound(db.CoefficientMass())
+	run.RunToCompletion()
+	fmt.Printf("early bound positive: %v, final bound: %.0f\n",
+		boundEarly > 0, run.WorstCaseBound(db.CoefficientMass()))
+	// Output: early bound positive: true, final bound: 0
+}
+
+// Statements expand into batches; GROUP BY produces one query per bucket.
+func ExampleParseBatch() {
+	schema, err := repro.NewSchema([]string{"week", "amount"}, []int{8, 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch, err := repro.ParseBatch(schema, "SUM(amount) GROUP BY week(4)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(batch), "queries")
+	// Output: 2 queries
+}

@@ -1,0 +1,269 @@
+// Package baseline implements the two classic approximate-query-processing
+// competitors the paper's related work discusses, as additional comparison
+// points for the evaluation:
+//
+//   - Histogram synopses (cf. Poosala & Ganti [10]): an equi-width bucket
+//     grid storing per-bucket tuple counts and attribute sums, answering
+//     range-sums under the uniform-spread assumption;
+//   - Sampling (cf. online aggregation, Hellerstein et al. [7]): a uniform
+//     tuple sample scaled up by the sampling rate, refined progressively as
+//     more of the sample is scanned.
+//
+// Both are budgeted in "stored values", making them comparable to a wavelet
+// coefficient budget.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/wavelet"
+)
+
+// Histogram is an equi-width bucket grid over the schema domain. Each
+// bucket stores the tuple count and, per attribute, the sum of values of
+// tuples in the bucket — enough to answer COUNT and SUM range queries under
+// the uniform-spread assumption.
+type Histogram struct {
+	schema  *dataset.Schema
+	buckets []int // buckets per dimension
+	widths  []int // cells per bucket per dimension
+	count   []float64
+	sums    [][]float64 // per attribute, per bucket
+}
+
+// NewHistogram builds the synopsis with the given per-dimension bucket
+// counts (each must divide the dimension size).
+func NewHistogram(d *dataset.Distribution, bucketsPerDim []int) (*Histogram, error) {
+	schema := d.Schema
+	if len(bucketsPerDim) != schema.NumDims() {
+		return nil, fmt.Errorf("baseline: %d bucket counts for %d dims", len(bucketsPerDim), schema.NumDims())
+	}
+	total := 1
+	widths := make([]int, len(bucketsPerDim))
+	for i, b := range bucketsPerDim {
+		if b < 1 || schema.Sizes[i]%b != 0 {
+			return nil, fmt.Errorf("baseline: %d buckets do not divide dimension %d (size %d)", b, i, schema.Sizes[i])
+		}
+		widths[i] = schema.Sizes[i] / b
+		total *= b
+	}
+	h := &Histogram{
+		schema:  schema,
+		buckets: append([]int(nil), bucketsPerDim...),
+		widths:  widths,
+		count:   make([]float64, total),
+		sums:    make([][]float64, schema.NumDims()),
+	}
+	for a := range h.sums {
+		h.sums[a] = make([]float64, total)
+	}
+	coords := make([]int, schema.NumDims())
+	for idx, c := range d.Cells {
+		if c == 0 {
+			continue
+		}
+		wavelet.Unflatten(idx, schema.Sizes, coords)
+		b := h.bucketOf(coords)
+		h.count[b] += c
+		for a, x := range coords {
+			h.sums[a][b] += c * float64(x)
+		}
+	}
+	return h, nil
+}
+
+func (h *Histogram) bucketOf(coords []int) int {
+	b := 0
+	for i, c := range coords {
+		b = b*h.buckets[i] + c/h.widths[i]
+	}
+	return b
+}
+
+// StoredValues returns the synopsis size in stored numbers: one count plus
+// one sum per attribute per bucket.
+func (h *Histogram) StoredValues() int {
+	return len(h.count) * (1 + h.schema.NumDims())
+}
+
+// Estimate answers a COUNT or single-attribute SUM query from the synopsis
+// under the uniform-spread assumption: each bucket's mass is spread evenly
+// over its cells, and within a partially-overlapped bucket the attribute sum
+// is scaled by the overlap fraction with a first-order correction toward the
+// overlap's mean coordinate.
+func (h *Histogram) Estimate(q *query.Query) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	deg := q.Degree()
+	if deg > 1 {
+		return 0, fmt.Errorf("baseline: histogram answers only degree ≤ 1 queries, got %d", deg)
+	}
+	// Identify the query shape: count (all powers zero) or sum over one
+	// attribute.
+	sumAttr := -1
+	var coeff float64
+	for _, t := range q.Terms {
+		coeff += t.Coeff
+		for i, p := range t.Powers {
+			if p == 1 {
+				if sumAttr >= 0 && sumAttr != i {
+					return 0, fmt.Errorf("baseline: histogram answers single-attribute sums only")
+				}
+				sumAttr = i
+			}
+		}
+	}
+	var est float64
+	// Enumerate buckets overlapping the range.
+	bLo := make([]int, h.schema.NumDims())
+	bHi := make([]int, h.schema.NumDims())
+	for i := range bLo {
+		bLo[i] = q.Range.Lo[i] / h.widths[i]
+		bHi[i] = q.Range.Hi[i] / h.widths[i]
+	}
+	idx := append([]int(nil), bLo...)
+	for {
+		b := 0
+		frac := 1.0
+		for i, bi := range idx {
+			b = b*h.buckets[i] + bi
+			cellLo := bi * h.widths[i]
+			cellHi := cellLo + h.widths[i] - 1
+			lo := max(cellLo, q.Range.Lo[i])
+			hi := min(cellHi, q.Range.Hi[i])
+			frac *= float64(hi-lo+1) / float64(h.widths[i])
+		}
+		if sumAttr < 0 {
+			est += coeff * frac * h.count[b]
+		} else if cnt := h.count[b]; cnt > 0 {
+			// Overlap count under uniform spread, times the mean attribute
+			// value over the overlapped segment. The segment mean under
+			// uniform spread is its midpoint, shifted by the bucket's
+			// observed mean offset from the bucket midpoint.
+			overlapCount := cnt * frac
+			cellLo := idx[sumAttr] * h.widths[sumAttr]
+			cellHi := cellLo + h.widths[sumAttr] - 1
+			lo := max(cellLo, q.Range.Lo[sumAttr])
+			hi := min(cellHi, q.Range.Hi[sumAttr])
+			segMean := float64(lo+hi) / 2
+			uniformMid := float64(cellLo+cellHi) / 2
+			actualMean := h.sums[sumAttr][b] / cnt
+			est += coeff * overlapCount * (segMean + (actualMean - uniformMid))
+		}
+		// Odometer.
+		i := len(idx) - 1
+		for i >= 0 {
+			idx[i]++
+			if idx[i] <= bHi[i] {
+				break
+			}
+			idx[i] = bLo[i]
+			i--
+		}
+		if i < 0 {
+			return est, nil
+		}
+	}
+}
+
+// Sample is a uniform tuple sample with scale-up estimation — the
+// online-aggregation baseline. Tuples are drawn without replacement from
+// the distribution's cells proportionally to multiplicity.
+type Sample struct {
+	schema *dataset.Schema
+	tuples [][]int
+	total  int64
+}
+
+// NewSample draws k tuples uniformly from the distribution (with
+// replacement; for k ≪ total the difference is negligible).
+func NewSample(d *dataset.Distribution, k int, seed int64) (*Sample, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: sample size must be positive, got %d", k)
+	}
+	if d.TupleCount == 0 {
+		return nil, fmt.Errorf("baseline: empty distribution")
+	}
+	// Cumulative mass over nonzero cells.
+	type cell struct {
+		idx int
+		cum float64
+	}
+	cells := make([]cell, 0, 1024)
+	var cum float64
+	for idx, c := range d.Cells {
+		if c > 0 {
+			cum += c
+			cells = append(cells, cell{idx, cum})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Sample{schema: d.Schema, total: d.TupleCount}
+	for i := 0; i < k; i++ {
+		u := rng.Float64() * cum
+		lo, hi := 0, len(cells)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cells[mid].cum < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		coords := make([]int, d.Schema.NumDims())
+		wavelet.Unflatten(cells[lo].idx, d.Schema.Sizes, coords)
+		s.tuples = append(s.tuples, coords)
+	}
+	return s, nil
+}
+
+// StoredValues returns the synopsis size in stored numbers (one coordinate
+// vector per sampled tuple).
+func (s *Sample) StoredValues() int { return len(s.tuples) * s.schema.NumDims() }
+
+// Estimate answers a query by scaling the sample: Σ over sampled tuples in
+// the range of p(x), times total/k. The optional prefix argument uses only
+// the first `prefix` sample tuples — the progressive refinement of online
+// aggregation (pass len ≤ 0 for the full sample).
+func (s *Sample) Estimate(q *query.Query, prefix int) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	if prefix <= 0 || prefix > len(s.tuples) {
+		prefix = len(s.tuples)
+	}
+	var acc float64
+	for _, coords := range s.tuples[:prefix] {
+		if !q.Range.Contains(coords) {
+			continue
+		}
+		for _, t := range q.Terms {
+			term := t.Coeff
+			for i, p := range t.Powers {
+				for j := 0; j < p; j++ {
+					term *= float64(coords[i])
+				}
+			}
+			acc += term
+		}
+	}
+	return acc * float64(s.total) / float64(prefix), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

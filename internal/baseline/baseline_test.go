@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+func testDist(t *testing.T) (*dataset.Schema, *dataset.Distribution) {
+	t.Helper()
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{32, 32})
+	return schema, dataset.Uniform(schema, 20000, 31)
+}
+
+func TestHistogramCountBucketAligned(t *testing.T) {
+	// Queries aligned to bucket boundaries are answered exactly.
+	schema, dist := testDist(t)
+	h, err := NewHistogram(dist, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := query.NewRange(schema, []int{4, 8}, []int{11, 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Count(schema, r)
+	got, err := h.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.EvaluateDirect(dist)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("aligned count %g, want %g", got, want)
+	}
+}
+
+func TestHistogramSumBucketAligned(t *testing.T) {
+	schema, dist := testDist(t)
+	h, err := NewHistogram(dist, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := query.NewRange(schema, []int{0, 4}, []int{31, 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Sum(schema, r, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.EvaluateDirect(dist)
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("aligned sum %g, want %g", got, want)
+	}
+}
+
+func TestHistogramUnalignedApproximation(t *testing.T) {
+	// Unaligned queries are approximate but should land within a reasonable
+	// relative error on uniform data.
+	schema, dist := testDist(t)
+	h, err := NewHistogram(dist, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		lo := []int{rng.Intn(32), rng.Intn(32)}
+		hi := []int{lo[0] + rng.Intn(32-lo[0]), lo[1] + rng.Intn(32-lo[1])}
+		r, err := query.NewRange(schema, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := query.Count(schema, r)
+		got, err := h.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q.EvaluateDirect(dist)
+		if want > 100 && math.Abs(got-want) > 0.25*want {
+			t.Fatalf("count estimate %g vs %g (>25%% off on uniform data)", got, want)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	_, dist := testDist(t)
+	if _, err := NewHistogram(dist, []int{8}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := NewHistogram(dist, []int{5, 8}); err == nil {
+		t.Error("non-dividing buckets should fail")
+	}
+	h, err := NewHistogram(dist, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.StoredValues() != 16*3 {
+		t.Fatalf("StoredValues = %d", h.StoredValues())
+	}
+	schema := dist.Schema
+	qq, err := query.SumSquares(schema, query.FullDomain(schema), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Estimate(qq); err == nil {
+		t.Error("degree-2 query should fail")
+	}
+}
+
+func TestSampleEstimateConverges(t *testing.T) {
+	schema, dist := testDist(t)
+	s, err := NewSample(dist, 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := query.NewRange(schema, []int{0, 0}, []int{15, 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Count(schema, r)
+	want := q.EvaluateDirect(dist) // ~10000
+	got, err := s.Estimate(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling error ~ 1/√5000 ≈ 1.4%; allow 6%.
+	if math.Abs(got-want) > 0.06*want {
+		t.Fatalf("sample estimate %g vs %g", got, want)
+	}
+	// A small prefix is noisier but still unbiased-ish.
+	got100, err := s.Estimate(q, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got100-want) > 0.5*want {
+		t.Fatalf("prefix-100 estimate %g wildly off %g", got100, want)
+	}
+}
+
+func TestSampleSumQuery(t *testing.T) {
+	schema, dist := testDist(t)
+	s, err := NewSample(dist, 8000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Sum(schema, query.FullDomain(schema), "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := q.EvaluateDirect(dist)
+	got, err := s.Estimate(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.06*math.Abs(want) {
+		t.Fatalf("sum estimate %g vs %g", got, want)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	schema := dataset.MustSchema([]string{"x"}, []int{8})
+	empty := dataset.NewDistribution(schema)
+	if _, err := NewSample(empty, 10, 1); err == nil {
+		t.Error("empty distribution should fail")
+	}
+	d := dataset.Uniform(schema, 100, 1)
+	if _, err := NewSample(d, 0, 1); err == nil {
+		t.Error("zero sample should fail")
+	}
+	s, err := NewSample(d, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StoredValues() != 50 {
+		t.Fatalf("StoredValues = %d", s.StoredValues())
+	}
+}
+
+func TestSampleDeterministicBySeed(t *testing.T) {
+	schema := dataset.MustSchema([]string{"x"}, []int{16})
+	d := dataset.Uniform(schema, 500, 9)
+	q := query.Count(schema, query.FullDomain(schema))
+	a, err := NewSample(d, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSample(d, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, _ := a.Estimate(q, 0)
+	eb, _ := b.Estimate(q, 0)
+	if ea != eb {
+		t.Fatal("same seed gave different samples")
+	}
+}

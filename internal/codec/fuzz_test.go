@@ -1,0 +1,49 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+// FuzzRead feeds arbitrary byte streams to the deserializer: it must never
+// panic or allocate absurdly, and anything it accepts must round-trip to an
+// identical byte stream (canonical form).
+func FuzzRead(f *testing.F) {
+	// Seed with a couple of valid streams and mutations thereof.
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{8, 8})
+	store := storage.NewHashStore()
+	store.Add(3, 1.25)
+	store.Add(17, -2.5)
+	var buf bytes.Buffer
+	if err := Write(&buf, schema, "Db4", 42, store, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("WVDB"))
+	corrupted := append([]byte(nil), buf.Bytes()...)
+	corrupted[len(corrupted)/2] ^= 0x55
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: re-serialize and verify canonical round-trip.
+		var out bytes.Buffer
+		if err := Write(&out, snap.Schema, snap.FilterName, snap.TupleCount, snap.Store(), snap.Windows); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		resnap, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(resnap.Keys) != len(snap.Keys) {
+			t.Fatalf("round-trip changed coefficient count")
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/storage"
+)
+
+// goldenHexV1 is a version-1 stream captured before version 2 added
+// quantization windows: schema (x:4, y:2), filter "Haar", 3 tuples,
+// coefficients {0: 1.5, 5: -2.25}. The reader must parse version-1 byte
+// sequences forever.
+const goldenHexV1 = "57564442" + // magic "WVDB"
+	"0100" + // version 1
+	"04" + "48616172" + // filter "Haar"
+	"0300000000000000" + // tuple count 3
+	"0200" + // 2 dims
+	"0100" + "78" + "04000000" + // "x", size 4
+	"0100" + "79" + "02000000" + // "y", size 2
+	"0200000000000000" + // 2 coefficients
+	"0000000000000000" + "000000000000f83f" + // key 0, 1.5
+	"0500000000000000" + "00000000000002c0" + // key 5, -2.25
+	"b7707d95" // CRC-32
+
+// goldenHexV2 is the same content in the current format (version 2 adds a
+// 16-byte window per dimension, zero when unset). The writer must keep
+// producing these exact bytes — serialization is canonical.
+const goldenHexV2 = "57564442" + // magic "WVDB"
+	"0200" + // version 2
+	"04" + "48616172" + // filter "Haar"
+	"0300000000000000" + // tuple count 3
+	"0200" + // 2 dims
+	"0100" + "78" + "04000000" + "0000000000000000" + "0000000000000000" + // "x", size 4, no window
+	"0100" + "79" + "02000000" + "0000000000000000" + "0000000000000000" + // "y", size 2, no window
+	"0200000000000000" + // 2 coefficients
+	"0000000000000000" + "000000000000f83f" + // key 0, 1.5
+	"0500000000000000" + "00000000000002c0" + // key 5, -2.25
+	"38fccb14" // CRC-32
+
+func TestGoldenStreamParses(t *testing.T) {
+	for name, golden := range map[string]string{"v1": goldenHexV1, "v2": goldenHexV2} {
+		t.Run(name, func(t *testing.T) {
+			testGoldenParses(t, golden)
+		})
+	}
+}
+
+func testGoldenParses(t *testing.T, golden string) {
+	data, err := hex.DecodeString(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("golden stream rejected: %v", err)
+	}
+	if snap.Windows != nil {
+		t.Fatalf("windowless golden produced windows %v", snap.Windows)
+	}
+	if snap.FilterName != "Haar" || snap.TupleCount != 3 {
+		t.Fatalf("metadata: %+v", snap)
+	}
+	if snap.Schema.Names[0] != "x" || snap.Schema.Sizes[0] != 4 ||
+		snap.Schema.Names[1] != "y" || snap.Schema.Sizes[1] != 2 {
+		t.Fatalf("schema: %+v", snap.Schema)
+	}
+	if len(snap.Keys) != 2 || snap.Keys[0] != 0 || snap.Keys[1] != 5 {
+		t.Fatalf("keys: %v", snap.Keys)
+	}
+	if snap.Values[0] != 1.5 || snap.Values[1] != -2.25 {
+		t.Fatalf("values: %v", snap.Values)
+	}
+}
+
+func TestGoldenStreamMatchesWriter(t *testing.T) {
+	// The writer must still produce byte-identical output for the golden
+	// content — serialization is canonical.
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{4, 2})
+	store := storage.NewHashStore()
+	store.Add(0, 1.5)
+	store.Add(5, -2.25)
+	var buf bytes.Buffer
+	if err := Write(&buf, schema, "Haar", 3, store, nil); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hex.DecodeString(goldenHexV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("writer output changed:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+}
+
+func TestGoldenFloatEncoding(t *testing.T) {
+	// Double-check the float bit patterns the golden stream relies on.
+	if math.Float64bits(1.5) != 0x3ff8000000000000 {
+		t.Fatal("1.5 bits changed?!")
+	}
+	if math.Float64bits(-2.25) != 0xc002000000000000 {
+		t.Fatal("-2.25 bits changed?!")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/penalty"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+func TestBlockRunMatchesExact(t *testing.T) {
+	fx := newFixture(t, 12)
+	hat, err := fx.dist.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := storage.NewBlockStore(storage.NewArrayStore(hat), 64)
+	run := NewBlockRun(fx.plan, penalty.SSE{}, bs)
+	run.RunToCompletion()
+	assertClose(t, run.Estimates(), fx.truth, 1e-6, "block-run")
+	if !run.Done() || run.Step() {
+		t.Fatal("block run should be done")
+	}
+	if run.Retrieved() != fx.plan.DistinctCoefficients() {
+		t.Fatalf("retrieved %d != distinct %d", run.Retrieved(), fx.plan.DistinctCoefficients())
+	}
+	// Block reads must equal the number of distinct blocks touched by the
+	// plan, and be at most the coefficient count.
+	distinctBlocks := map[int]struct{}{}
+	for i := range fx.plan.entries {
+		distinctBlocks[bs.Block(fx.plan.entries[i].Key)] = struct{}{}
+	}
+	if int(bs.BlockReads()) != len(distinctBlocks) {
+		t.Fatalf("block reads %d != distinct blocks %d", bs.BlockReads(), len(distinctBlocks))
+	}
+	if run.BlocksFetched() != len(distinctBlocks) {
+		t.Fatalf("BlocksFetched %d != %d", run.BlocksFetched(), len(distinctBlocks))
+	}
+}
+
+func TestBlockRunFetchesImportantBlocksFirst(t *testing.T) {
+	fx := newFixture(t, 12)
+	hat, err := fx.dist.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := storage.NewBlockStore(storage.NewArrayStore(hat), 64)
+	pen := penalty.SSE{}
+	run := NewBlockRun(fx.plan, pen, bs)
+
+	// Recompute the block importances independently and verify the visit
+	// order is non-increasing.
+	imps := fx.plan.Importances(pen)
+	blockImp := map[int]float64{}
+	for i := range fx.plan.entries {
+		blockImp[bs.Block(fx.plan.entries[i].Key)] += imps[i]
+	}
+	prev := -1.0
+	first := true
+	for !run.Done() {
+		// The next block is order[pos]; find its importance via any entry.
+		entryIdx := run.order[run.pos][0]
+		b := bs.Block(fx.plan.entries[entryIdx].Key)
+		imp := blockImp[b]
+		if !first && imp > prev+1e-12 {
+			t.Fatalf("block importance increased: %g after %g", imp, prev)
+		}
+		prev = imp
+		first = false
+		run.Step()
+	}
+}
+
+func TestBlockRunFewerIOsThanCoefficientRun(t *testing.T) {
+	fx := newFixture(t, 24)
+	hat, err := fx.dist.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := storage.NewBlockStore(storage.NewArrayStore(hat), 256)
+	run := NewBlockRun(fx.plan, penalty.SSE{}, bs)
+	run.RunToCompletion()
+	if int(bs.BlockReads()) >= fx.plan.DistinctCoefficients() {
+		t.Fatalf("block reads %d should be below coefficient count %d for block size 256",
+			bs.BlockReads(), fx.plan.DistinctCoefficients())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// Per-query progressive error bounds: by Hölder's inequality the error of
+// query i after retrieving the set Ξ satisfies
+//
+//	|err_i| = |Σ_{ξ∉Ξ} q̂_i[ξ]·Δ̂[ξ]| ≤ K · max_{ξ∉Ξ} |q̂_i[ξ]|,
+//
+// with K = Σ|Δ̂[ξ]|, and the bound is attained by a point-mass database —
+// the per-query analogue of Theorem 1's batch bound. These are the error
+// bars a progressive UI can draw next to each estimate.
+//
+// The tracking structures cost O(TotalQueryCoefficients) memory and are
+// built lazily on the first call, so runs that never ask for per-query
+// bounds pay nothing.
+
+type queryBound struct {
+	// entries are the indices into plan.entries touching this query, sorted
+	// by descending |coefficient|.
+	entries []int32
+	// mags are the matching |coefficient| values.
+	mags []float64
+	// next is the cursor to the first candidate not yet known-retrieved.
+	next int
+}
+
+func (r *Run) initBounds() {
+	if r.bounds != nil {
+		return
+	}
+	r.bounds = make([]queryBound, r.plan.NumQueries())
+	for i := range r.plan.entries {
+		e := &r.plan.entries[i]
+		for k, qi := range e.QueryIdx {
+			b := &r.bounds[qi]
+			b.entries = append(b.entries, int32(i))
+			b.mags = append(b.mags, math.Abs(e.Coeffs[k]))
+		}
+	}
+	for qi := range r.bounds {
+		b := &r.bounds[qi]
+		idx := make([]int, len(b.entries))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, c int) bool { return b.mags[idx[a]] > b.mags[idx[c]] })
+		se := make([]int32, len(idx))
+		sm := make([]float64, len(idx))
+		for i, j := range idx {
+			se[i] = b.entries[j]
+			sm[i] = b.mags[j]
+		}
+		b.entries, b.mags = se, sm
+	}
+}
+
+// QueryErrorBound returns the worst-case bound K·max_{ξ∉Ξ}|q̂_i[ξ]| on the
+// current estimate of query i, for databases with coefficient mass
+// K = Σ|Δ̂[ξ]| equal to coefficientMass. It returns 0 once every coefficient
+// of the query has been retrieved (the estimate is exact). The first call
+// builds O(TotalQueryCoefficients) tracking state.
+func (r *Run) QueryErrorBound(i int, coefficientMass float64) float64 {
+	r.initBounds()
+	b := &r.bounds[i]
+	for b.next < len(b.entries) && r.popped[b.entries[b.next]] {
+		b.next++
+	}
+	if b.next >= len(b.entries) {
+		return 0
+	}
+	return coefficientMass * b.mags[b.next]
+}
+
+// QueryErrorBounds returns the bound for every query in the batch.
+func (r *Run) QueryErrorBounds(coefficientMass float64) []float64 {
+	out := make([]float64, r.plan.NumQueries())
+	for i := range out {
+		out[i] = r.QueryErrorBound(i, coefficientMass)
+	}
+	return out
+}

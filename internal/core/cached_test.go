@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/sparse"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+func cachedFixture(t *testing.T) (*fixture, []sparse.Vector) {
+	t.Helper()
+	fx := newFixture(t, 16)
+	vectors := make([]sparse.Vector, len(fx.batch))
+	for i, q := range fx.batch {
+		v, err := q.Coefficients(wavelet.Db4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vectors[i] = v
+	}
+	return fx, vectors
+}
+
+func TestCachedEvaluatorExactAtAllCacheSizes(t *testing.T) {
+	fx, vectors := cachedFixture(t)
+	for _, size := range []int{0, 1, 16, 1024, 1 << 20} {
+		fx.store.ResetStats()
+		ev, err := NewCachedEvaluator(fx.store, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ev.Evaluate(vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertClose(t, got, fx.truth, 1e-6, "cached")
+		if ev.Hits()+ev.Misses() != int64(fx.plan.TotalQueryCoefficients()) {
+			t.Fatalf("size %d: hits+misses %d != total coefficients %d",
+				size, ev.Hits()+ev.Misses(), fx.plan.TotalQueryCoefficients())
+		}
+		if ev.Misses() != fx.store.Retrievals() {
+			t.Fatalf("size %d: misses %d != retrievals %d", size, ev.Misses(), fx.store.Retrievals())
+		}
+	}
+}
+
+func TestCachedEvaluatorCostEnvelope(t *testing.T) {
+	fx, vectors := cachedFixture(t)
+	// Zero cache: every coefficient use is a retrieval.
+	fx.store.ResetStats()
+	ev0, err := NewCachedEvaluator(fx.store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev0.Evaluate(vectors); err != nil {
+		t.Fatal(err)
+	}
+	if ev0.Misses() != int64(fx.plan.TotalQueryCoefficients()) {
+		t.Fatalf("zero cache misses %d, want %d", ev0.Misses(), fx.plan.TotalQueryCoefficients())
+	}
+	if ev0.Hits() != 0 {
+		t.Fatalf("zero cache hits %d", ev0.Hits())
+	}
+	// Unbounded cache: each distinct coefficient misses exactly once — the
+	// shared master-list cost.
+	evInf, err := NewCachedEvaluator(fx.store, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := evInf.Evaluate(vectors); err != nil {
+		t.Fatal(err)
+	}
+	if evInf.Misses() != int64(fx.plan.DistinctCoefficients()) {
+		t.Fatalf("unbounded cache misses %d, want %d", evInf.Misses(), fx.plan.DistinctCoefficients())
+	}
+	// A mid-sized cache lands strictly between and captures most sharing.
+	evMid, err := NewCachedEvaluator(fx.store, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := evMid.Evaluate(vectors); err != nil {
+		t.Fatal(err)
+	}
+	if evMid.Misses() < evInf.Misses() || evMid.Misses() > ev0.Misses() {
+		t.Fatalf("mid cache misses %d outside [%d, %d]", evMid.Misses(), evInf.Misses(), ev0.Misses())
+	}
+	if evMid.Misses() == ev0.Misses() {
+		t.Fatal("mid cache captured no sharing at all")
+	}
+}
+
+func TestCachedEvaluatorValidation(t *testing.T) {
+	if _, err := NewCachedEvaluator(storage.NewHashStore(), -1); err == nil {
+		t.Error("negative cache size should fail")
+	}
+	ev, err := NewCachedEvaluator(storage.NewHashStore(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Evaluate(nil); err == nil {
+		t.Error("empty batch should fail")
+	}
+	if ev.CacheSize() != 4 {
+		t.Fatal("CacheSize wrong")
+	}
+}
+
+func TestCachedEvaluatorLRUEviction(t *testing.T) {
+	// With capacity 1 and the access pattern a,b,a, the second a must miss.
+	store := storage.NewHashStore()
+	store.Add(1, 10)
+	store.Add(2, 20)
+	ev, err := NewCachedEvaluator(store, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Evaluate([]sparse.Vector{
+		{1: 1},
+		{2: 1},
+		{1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 20 || got[2] != 10 {
+		t.Fatalf("results = %v", got)
+	}
+	if ev.Misses() != 3 || ev.Hits() != 0 {
+		t.Fatalf("misses=%d hits=%d, want 3/0", ev.Misses(), ev.Hits())
+	}
+	// And with the pattern a,a the second hits.
+	ev2, _ := NewCachedEvaluator(store, 1)
+	if _, err := ev2.Evaluate([]sparse.Vector{{1: 1}, {1: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Hits() != 1 || ev2.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", ev2.Hits(), ev2.Misses())
+	}
+}
+
+func TestCachedEvaluatorMatchesPlanExact(t *testing.T) {
+	fx, vectors := cachedFixture(t)
+	ev, err := NewCachedEvaluator(fx.store, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ev.Evaluate(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fx.plan.Exact(fx.store)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("query %d: cached %g vs plan %g", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkCachedEvaluator(b *testing.B) {
+	schema := dataset.MustSchema([]string{"x", "y", "m"}, []int{32, 32, 16})
+	dist := dataset.Uniform(schema, 20000, 7)
+	ranges, err := query.RandomPartition(schema, 32, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := query.SumBatch(schema, ranges, "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	vectors := make([]sparse.Vector, len(batch))
+	for i, q := range batch {
+		v, err := q.Coefficients(wavelet.Db4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vectors[i] = v
+	}
+	hat, err := dist.Transform(wavelet.Db4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := storage.NewHashStoreFromDense(hat, 0)
+	b.ResetTimer()
+	for _, size := range []int{0, 1024, 1 << 20} {
+		name := "cache=0"
+		if size == 1024 {
+			name = "cache=1k"
+		} else if size > 1024 {
+			name = "cache=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ev, err := NewCachedEvaluator(store, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ev.Evaluate(vectors); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

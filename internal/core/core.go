@@ -1,0 +1,469 @@
+// Package core implements Batch-Biggest-B (Figure 1 of the paper): exact
+// and progressive evaluation of a batch of vector queries against a stored
+// linear transform of the data, sharing every retrieval across the batch and
+// ordering retrievals by a penalty-derived importance function.
+//
+// The package is deliberately agnostic about where the per-query sparse
+// coefficient vectors come from: wavelet rewriting (the common case, via
+// NewWaveletPlan), prefix-sum corners, or any other linear
+// storage/evaluation strategy (Section 1.2 of the paper) all produce a Plan
+// the same way.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/penalty"
+	"repro/internal/query"
+	"repro/internal/sparse"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+// Entry is one element of the master list: a distinct storage key together
+// with the queries that need it and their coefficients.
+type Entry struct {
+	Key      int
+	QueryIdx []int32
+	Coeffs   []float64
+}
+
+// Plan is the merged master list for a query batch (steps 2–3 of
+// Batch-Biggest-B): the union of the per-query nonzero coefficient lists,
+// grouped by storage key so each key is retrieved at most once.
+type Plan struct {
+	Labels  []string
+	entries []Entry
+	// totalQueryCoefficients is the sum of per-query nonzero counts — the
+	// number of retrievals an unshared per-query evaluation would need.
+	totalQueryCoefficients int
+}
+
+// NewPlan merges the per-query sparse coefficient vectors into a master
+// list. labels may be nil; otherwise it must have one label per vector.
+func NewPlan(vectors []sparse.Vector, labels []string) (*Plan, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	if labels != nil && len(labels) != len(vectors) {
+		return nil, fmt.Errorf("core: %d labels for %d queries", len(labels), len(vectors))
+	}
+	if labels == nil {
+		labels = make([]string, len(vectors))
+		for i := range labels {
+			labels[i] = fmt.Sprintf("q%d", i)
+		}
+	}
+	merged := make(map[int]*Entry)
+	total := 0
+	for qi, vec := range vectors {
+		total += len(vec)
+		for key, c := range vec {
+			e, ok := merged[key]
+			if !ok {
+				e = &Entry{Key: key}
+				merged[key] = e
+			}
+			e.QueryIdx = append(e.QueryIdx, int32(qi))
+			e.Coeffs = append(e.Coeffs, c)
+		}
+	}
+	entries := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		entries = append(entries, *e)
+	}
+	// Deterministic base order.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return &Plan{
+		Labels:                 append([]string(nil), labels...),
+		entries:                entries,
+		totalQueryCoefficients: total,
+	}, nil
+}
+
+// NewWaveletPlan rewrites every query in the batch under the filter and
+// merges the results — the standard wavelet instantiation. It returns an
+// error if the filter lacks the vanishing moments for the batch degree,
+// because that would silently destroy the sparsity the algorithm is built
+// around (use NewPlan directly to opt into dense rewritings).
+func NewWaveletPlan(batch query.Batch, f *wavelet.Filter) (*Plan, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	if deg := batch.Degree(); !f.SupportsDegree(deg) {
+		return nil, fmt.Errorf("core: filter %s (%d vanishing moments) cannot sparsely rewrite degree-%d queries; need filter length ≥ %d",
+			f.Name, f.VanishingMoments(), deg, 2*deg+2)
+	}
+	merged := make(map[int]*Entry)
+	total := 0
+	labels := make([]string, len(batch))
+	for i, q := range batch {
+		labels[i] = q.Label
+		qi := int32(i)
+		err := q.CoefficientsFunc(f, func(key int, c float64) {
+			total++
+			e, ok := merged[key]
+			if !ok {
+				e = &Entry{Key: key}
+				merged[key] = e
+			}
+			e.QueryIdx = append(e.QueryIdx, qi)
+			e.Coeffs = append(e.Coeffs, c)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: query %d: %w", i, err)
+		}
+	}
+	entries := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return &Plan{
+		Labels:                 labels,
+		entries:                entries,
+		totalQueryCoefficients: total,
+	}, nil
+}
+
+// NumQueries returns the batch size.
+func (p *Plan) NumQueries() int { return len(p.Labels) }
+
+// DistinctCoefficients returns the master-list length: the number of
+// retrievals an exact shared evaluation performs.
+func (p *Plan) DistinctCoefficients() int { return len(p.entries) }
+
+// TotalQueryCoefficients returns the sum of per-query nonzero counts: the
+// number of retrievals unshared per-query evaluation performs.
+func (p *Plan) TotalQueryCoefficients() int { return p.totalQueryCoefficients }
+
+// SharingFactor returns TotalQueryCoefficients / DistinctCoefficients — how
+// many queries the average retrieved coefficient serves.
+func (p *Plan) SharingFactor() float64 {
+	if len(p.entries) == 0 {
+		return 0
+	}
+	return float64(p.totalQueryCoefficients) / float64(len(p.entries))
+}
+
+// ForEachEntry visits every master-list entry in ascending key order — the
+// same order Importances reports values in. The slices are owned by the
+// plan; callers must not modify them.
+func (p *Plan) ForEachEntry(fn func(key int, queryIdx []int32, coeffs []float64)) {
+	for i := range p.entries {
+		e := &p.entries[i]
+		fn(e.Key, e.QueryIdx, e.Coeffs)
+	}
+}
+
+// Importances computes ι_p for every master-list entry under the penalty.
+func (p *Plan) Importances(pen penalty.Penalty) []float64 {
+	out := make([]float64, len(p.entries))
+	idxBuf := make([]int, 0, 16)
+	for i := range p.entries {
+		e := &p.entries[i]
+		idxBuf = idxBuf[:0]
+		for _, qi := range e.QueryIdx {
+			idxBuf = append(idxBuf, int(qi))
+		}
+		out[i] = pen.Importance(idxBuf, e.Coeffs)
+	}
+	return out
+}
+
+// Exact evaluates the batch exactly by one pass over the master list
+// (Batch-Biggest-B without the heap — the pure I/O-sharing exact algorithm
+// of Section 2.2). It performs exactly DistinctCoefficients retrievals.
+func (p *Plan) Exact(store storage.Store) []float64 {
+	est := make([]float64, p.NumQueries())
+	for i := range p.entries {
+		e := &p.entries[i]
+		v := store.Get(e.Key)
+		if v == 0 {
+			continue
+		}
+		for k, qi := range e.QueryIdx {
+			est[qi] += e.Coeffs[k] * v
+		}
+	}
+	return est
+}
+
+// entryHeap orders entry indices by descending importance, breaking ties by
+// ascending key for reproducible runs.
+type entryHeap struct {
+	idx        []int
+	importance []float64
+	keys       []int
+}
+
+func (h *entryHeap) Len() int { return len(h.idx) }
+func (h *entryHeap) Less(a, b int) bool {
+	ia, ib := h.idx[a], h.idx[b]
+	if h.importance[ia] != h.importance[ib] {
+		return h.importance[ia] > h.importance[ib]
+	}
+	return h.keys[ia] < h.keys[ib]
+}
+func (h *entryHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
+func (h *entryHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
+func (h *entryHeap) Pop() any {
+	old := h.idx
+	n := len(old)
+	x := old[n-1]
+	h.idx = old[:n-1]
+	return x
+}
+
+// Run is one progressive execution of Batch-Biggest-B: it owns the
+// importance heap and the progressive estimates, advancing one retrieval per
+// Step. After the heap drains the estimates are exact.
+type Run struct {
+	plan        *Plan
+	store       storage.Store
+	pen         penalty.Penalty
+	heap        *entryHeap
+	estimates   []float64
+	retrieved   int
+	importances []float64
+	// remainingImportance tracks Σ ι_p(ξ) over unretrieved entries, which
+	// is trace(R) in the Theorem 2 expected-penalty formula.
+	remainingImportance float64
+	// popped marks retrieved entries; bounds holds the lazily-built
+	// per-query error-bound cursors (see bounds.go).
+	popped []bool
+	bounds []queryBound
+}
+
+// NewRun prepares a progressive run: computes every entry's importance under
+// the penalty (step 4 of Batch-Biggest-B) and builds the max-heap.
+func NewRun(plan *Plan, pen penalty.Penalty, store storage.Store) *Run {
+	imps := plan.Importances(pen)
+	keys := make([]int, len(plan.entries))
+	idx := make([]int, len(plan.entries))
+	for i := range plan.entries {
+		keys[i] = plan.entries[i].Key
+		idx[i] = i
+	}
+	h := &entryHeap{idx: idx, importance: imps, keys: keys}
+	heap.Init(h)
+	var total float64
+	for _, v := range imps {
+		total += v
+	}
+	return &Run{
+		plan:                plan,
+		store:               store,
+		pen:                 pen,
+		heap:                h,
+		estimates:           make([]float64, plan.NumQueries()),
+		importances:         imps,
+		remainingImportance: total,
+		popped:              make([]bool, len(plan.entries)),
+	}
+}
+
+// Step extracts the most important unretrieved entry, fetches its
+// coefficient, and advances every query that needs it (step 5). It returns
+// false when the computation is complete.
+func (r *Run) Step() bool {
+	if r.heap.Len() == 0 {
+		return false
+	}
+	i := heap.Pop(r.heap).(int)
+	e := &r.plan.entries[i]
+	r.remainingImportance -= r.importances[i]
+	r.popped[i] = true
+	v := r.store.Get(e.Key)
+	r.retrieved++
+	if v != 0 {
+		for k, qi := range e.QueryIdx {
+			r.estimates[qi] += e.Coeffs[k] * v
+		}
+	}
+	return true
+}
+
+// StepN performs up to n steps and returns how many were executed.
+func (r *Run) StepN(n int) int {
+	done := 0
+	for done < n && r.Step() {
+		done++
+	}
+	return done
+}
+
+// RunToCompletion drains the heap; afterwards Estimates holds exact results.
+func (r *Run) RunToCompletion() {
+	for r.Step() {
+	}
+}
+
+// Done reports whether every entry has been retrieved.
+func (r *Run) Done() bool { return r.heap.Len() == 0 }
+
+// Retrieved returns the number of coefficients fetched so far.
+func (r *Run) Retrieved() int { return r.retrieved }
+
+// Estimates returns the current progressive estimates. The slice is owned
+// by the run; callers must not modify it (use Snapshot for a copy).
+func (r *Run) Estimates() []float64 { return r.estimates }
+
+// Snapshot returns a copy of the current progressive estimates.
+func (r *Run) Snapshot() []float64 {
+	out := make([]float64, len(r.estimates))
+	copy(out, r.estimates)
+	return out
+}
+
+// NextImportance returns ι_p of the most important unretrieved entry, or 0
+// when the run is complete.
+func (r *Run) NextImportance() float64 {
+	if r.heap.Len() == 0 {
+		return 0
+	}
+	return r.importances[r.heap.idx[0]]
+}
+
+// WorstCaseBound returns the Theorem 1 bound K^α·ι_p(ξ′) on the penalty of
+// the current progressive estimate over all databases whose transformed
+// data vector has coefficient mass K = Σ_ξ|Δ̂[ξ]| equal to coefficientMass,
+// with α the penalty's homogeneity degree and ξ′ the most important
+// unretrieved wavelet.
+func (r *Run) WorstCaseBound(coefficientMass float64) float64 {
+	next := r.NextImportance()
+	if next == 0 {
+		return 0
+	}
+	alpha := r.pen.Homogeneity()
+	pow := 1.0
+	for i := 0; i < int(alpha); i++ {
+		pow *= coefficientMass
+	}
+	return pow * next
+}
+
+// RemainingImportance returns Σ ι_p(ξ) over the unretrieved entries — the
+// trace(R) of the Theorem 2 expected-penalty formula.
+func (r *Run) RemainingImportance() float64 {
+	if r.heap.Len() == 0 {
+		return 0
+	}
+	return r.remainingImportance
+}
+
+// ExpectedPenalty returns the Theorem 2 estimate of the penalty of the
+// current progressive estimate for a database whose transformed data vector
+// is uniformly distributed on the sphere of the given radius in the
+// domainCells-dimensional coefficient space:
+//
+//	E[p] = radius² · Σ_{ξ unretrieved} ι_p(ξ) / domainCells
+//
+// It is meaningful for quadratic penalties (homogeneity 2). Note the paper
+// states the denominator as N^d−1; the exact sphere moment gives N^d (see
+// the theorem tests).
+func (r *Run) ExpectedPenalty(domainCells int, radius float64) float64 {
+	if domainCells <= 0 {
+		return 0
+	}
+	return radius * radius * r.RemainingImportance() / float64(domainCells)
+}
+
+// StepUntilBound advances the run until the Theorem 1 worst-case penalty
+// bound K^α·ι_p(ξ′) drops to target or the run completes, returning the
+// number of steps executed. coefficientMass is K = Σ|Δ̂[ξ]| (see
+// WorstCaseBound). This is the "stop when the answer is provably good
+// enough" interface the progressive guarantees enable.
+func (r *Run) StepUntilBound(coefficientMass, target float64) int {
+	steps := 0
+	for !r.Done() && r.WorstCaseBound(coefficientMass) > target {
+		r.Step()
+		steps++
+	}
+	return steps
+}
+
+// RunWithCheckpoints advances the run, invoking fn at each requested
+// retrieval count (which must be ascending) and once more at completion.
+// Checkpoints beyond the master-list length are clipped to completion.
+func (r *Run) RunWithCheckpoints(points []int, fn func(retrieved int, estimates []float64)) {
+	for _, p := range points {
+		if p < r.retrieved {
+			continue
+		}
+		r.StepN(p - r.retrieved)
+		fn(r.retrieved, r.estimates)
+		if r.Done() {
+			break
+		}
+	}
+	if !r.Done() {
+		r.RunToCompletion()
+		fn(r.retrieved, r.estimates)
+	}
+}
+
+// RoundRobin is the unshared baseline of Section 2.2: s independent
+// instances of the single-query biggest-B strategy advanced in round-robin
+// fashion. Each query orders its own coefficients by |q̂[ξ]| and every
+// retrieval serves exactly one query, so coefficients needed by several
+// queries are fetched repeatedly.
+type RoundRobin struct {
+	store     storage.Store
+	lists     [][]sparse.Entry
+	positions []int
+	estimates []float64
+	retrieved int
+	turn      int
+}
+
+// NewRoundRobin builds the baseline from per-query coefficient vectors.
+func NewRoundRobin(vectors []sparse.Vector, store storage.Store) (*RoundRobin, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	lists := make([][]sparse.Entry, len(vectors))
+	for i, v := range vectors {
+		lists[i] = v.Entries() // descending |coefficient|: single-query biggest-B
+	}
+	return &RoundRobin{
+		store:     store,
+		lists:     lists,
+		positions: make([]int, len(vectors)),
+		estimates: make([]float64, len(vectors)),
+	}, nil
+}
+
+// Step advances one query by one coefficient, cycling through the batch. It
+// returns false once every query is exact.
+func (r *RoundRobin) Step() bool {
+	n := len(r.lists)
+	for tried := 0; tried < n; tried++ {
+		qi := r.turn
+		r.turn = (r.turn + 1) % n
+		if r.positions[qi] >= len(r.lists[qi]) {
+			continue
+		}
+		e := r.lists[qi][r.positions[qi]]
+		r.positions[qi]++
+		v := r.store.Get(e.Key)
+		r.retrieved++
+		r.estimates[qi] += e.Val * v
+		return true
+	}
+	return false
+}
+
+// RunToCompletion drains every per-query list.
+func (r *RoundRobin) RunToCompletion() {
+	for r.Step() {
+	}
+}
+
+// Retrieved returns the number of (unshared) retrievals performed.
+func (r *RoundRobin) Retrieved() int { return r.retrieved }
+
+// Estimates returns the current progressive estimates (owned by the run).
+func (r *RoundRobin) Estimates() []float64 { return r.estimates }

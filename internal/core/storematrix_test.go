@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/penalty"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+// TestAllStoreImplementationsAgree runs the same plan against every store
+// implementation in the repository — array, hash, file-backed, block-
+// simulated, remapped (layout), session-cached and concurrency-wrapped —
+// and requires identical exact results and consistent retrieval accounting.
+func TestAllStoreImplementationsAgree(t *testing.T) {
+	fx := newFixture(t, 10)
+	hat, err := fx.dist.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	layout := make([]int, len(hat))
+	for i := range layout {
+		layout[i] = (i*7 + 3) % len(layout)
+	}
+	// Make it a permutation: i*7+3 mod n is a bijection iff gcd(7,n)=1;
+	// n is a power of two here, so it is.
+	relocated, err := storage.ApplyLayout(hat, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped, err := storage.NewRemappedStore(storage.NewArrayStore(relocated), layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fileStore, err := storage.CreateFileStore(filepath.Join(t.TempDir(), "m.wvfs"), hat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fileStore.Close()
+
+	cached, err := storage.NewCachedStore(storage.NewArrayStore(hat), storage.Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stores := map[string]storage.Store{
+		"array":      storage.NewArrayStore(hat),
+		"hash":       storage.NewHashStoreFromDense(hat, 0),
+		"file":       fileStore,
+		"block":      storage.NewBlockStore(storage.NewArrayStore(hat), 32),
+		"remapped":   remapped,
+		"cached":     cached,
+		"concurrent": storage.NewConcurrentStore(storage.NewArrayStore(hat)),
+	}
+	for name, st := range stores {
+		st.ResetStats()
+		run := NewRun(fx.plan, penalty.SSE{}, st)
+		run.RunToCompletion()
+		for i, v := range run.Estimates() {
+			if math.Abs(v-fx.truth[i]) > 1e-6*(1+math.Abs(fx.truth[i])) {
+				t.Fatalf("%s store: query %d: got %g want %g", name, i, v, fx.truth[i])
+			}
+		}
+		if name != "hash" { // hash store reads pruned zeros as zero without error
+			if st.Retrievals() != int64(fx.plan.DistinctCoefficients()) {
+				t.Fatalf("%s store: retrievals %d != distinct %d",
+					name, st.Retrievals(), fx.plan.DistinctCoefficients())
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+// InsertTuple incrementally maintains a stored transform under a tuple
+// insertion: Δ ← Δ + δ_x implies Δ̂ ← Δ̂ + δ̂_x, and the impulse transform
+// factors per dimension, giving O((L·log N)^d) coefficient updates — the
+// update-efficiency argument of Section 2.1 (O(log^d N) for Haar).
+func InsertTuple(store storage.Updatable, f *wavelet.Filter, dims []int, coords []int) error {
+	return addImpulse(store, f, dims, coords, 1)
+}
+
+// DeleteTuple removes one occurrence of the tuple from the stored transform.
+// It is the caller's responsibility that the tuple was present; the
+// transform itself cannot tell.
+func DeleteTuple(store storage.Updatable, f *wavelet.Filter, dims []int, coords []int) error {
+	return addImpulse(store, f, dims, coords, -1)
+}
+
+func addImpulse(store storage.Updatable, f *wavelet.Filter, dims []int, coords []int, mult float64) error {
+	if len(coords) != len(dims) {
+		return fmt.Errorf("core: tuple has %d coordinates for %d dimensions", len(coords), len(dims))
+	}
+	factors := make([]sparse.Vector, len(dims))
+	for i, n := range dims {
+		if coords[i] < 0 || coords[i] >= n {
+			return fmt.Errorf("core: coordinate %d = %d outside [0,%d)", i, coords[i], n)
+		}
+		m, err := f.ImpulseTransform(coords[i], n)
+		if err != nil {
+			return err
+		}
+		factors[i] = sparse.Vector(m)
+	}
+	return sparse.TensorProduct(factors, dims, func(key int, val float64) {
+		store.Add(key, mult*val)
+	})
+}

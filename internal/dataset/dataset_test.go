@@ -1,0 +1,260 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wavelet"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema([]string{"a"}, []int{4, 8}); err == nil {
+		t.Error("mismatched names/sizes should fail")
+	}
+	if _, err := NewSchema([]string{"a"}, []int{3}); err == nil {
+		t.Error("non-pow2 size should fail")
+	}
+	s, err := NewSchema([]string{"a", "b"}, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cells() != 32 || s.NumDims() != 2 {
+		t.Fatalf("Cells=%d NumDims=%d", s.Cells(), s.NumDims())
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustSchema([]string{"a"}, []int{3})
+}
+
+func TestAttrIndex(t *testing.T) {
+	s := MustSchema([]string{"x", "y"}, []int{4, 4})
+	i, err := s.AttrIndex("y")
+	if err != nil || i != 1 {
+		t.Fatalf("AttrIndex = %d, %v", i, err)
+	}
+	if _, err := s.AttrIndex("z"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestDistributionAddTupleAndAt(t *testing.T) {
+	s := MustSchema([]string{"x", "y"}, []int{4, 4})
+	d := NewDistribution(s)
+	d.AddTuple([]int{1, 2})
+	d.AddTuple([]int{1, 2})
+	d.AddTuple([]int{3, 0})
+	if d.At([]int{1, 2}) != 2 || d.At([]int{3, 0}) != 1 || d.At([]int{0, 0}) != 0 {
+		t.Fatal("AddTuple/At wrong")
+	}
+	if d.TupleCount != 3 {
+		t.Fatalf("TupleCount = %d", d.TupleCount)
+	}
+}
+
+func TestTransformRoundTripsAndPreservesMass(t *testing.T) {
+	s := MustSchema([]string{"x", "y"}, []int{8, 8})
+	d := Uniform(s, 500, 42)
+	hat, err := d.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transform must not modify the distribution.
+	var mass float64
+	for _, v := range d.Cells {
+		mass += v
+	}
+	if mass != 500 {
+		t.Fatalf("distribution modified: mass %g", mass)
+	}
+	// Parseval: energies match.
+	var e1, e2 float64
+	for _, v := range d.Cells {
+		e1 += v * v
+	}
+	for _, v := range hat {
+		e2 += v * v
+	}
+	if math.Abs(e1-e2) > 1e-6*(1+e1) {
+		t.Fatalf("energy %g vs %g", e1, e2)
+	}
+}
+
+func TestTemperatureGeneratorBasics(t *testing.T) {
+	cfg := TemperatureConfig{
+		Records: 5000,
+		LatBins: 16, LonBins: 16, AltBins: 4, TimeBins: 8, TempBins: 16,
+		Seed: 7,
+	}
+	d, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TupleCount != 5000 {
+		t.Fatalf("TupleCount = %d", d.TupleCount)
+	}
+	if d.Schema.NumDims() != 5 {
+		t.Fatalf("NumDims = %d", d.Schema.NumDims())
+	}
+	var mass float64
+	for _, v := range d.Cells {
+		if v < 0 {
+			t.Fatal("negative multiplicity")
+		}
+		mass += v
+	}
+	if mass != 5000 {
+		t.Fatalf("mass = %g", mass)
+	}
+}
+
+func TestTemperatureDeterministicBySeed(t *testing.T) {
+	cfg := TemperatureConfig{Records: 1000, LatBins: 8, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8, Seed: 3}
+	d1, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Cells {
+		if d1.Cells[i] != d2.Cells[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	cfg.Seed = 4
+	d3, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range d1.Cells {
+		if d1.Cells[i] != d3.Cells[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTemperatureHasPhysicalStructure(t *testing.T) {
+	// Equatorial cells should be warmer on average than polar cells.
+	cfg := TemperatureConfig{Records: 20000, LatBins: 16, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 32, Seed: 5}
+	d, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanTempAtLat := func(lat int) float64 {
+		var sum, n float64
+		coords := make([]int, 5)
+		for lon := 0; lon < cfg.LonBins; lon++ {
+			for alt := 0; alt < cfg.AltBins; alt++ {
+				for tm := 0; tm < cfg.TimeBins; tm++ {
+					for temp := 0; temp < cfg.TempBins; temp++ {
+						coords[0], coords[1], coords[2], coords[3], coords[4] = lat, lon, alt, tm, temp
+						c := d.At(coords)
+						sum += c * float64(temp)
+						n += c
+					}
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / n
+	}
+	equator := meanTempAtLat(cfg.LatBins / 2)
+	pole := meanTempAtLat(0)
+	if equator <= pole {
+		t.Fatalf("equator mean %g not warmer than pole mean %g", equator, pole)
+	}
+}
+
+func TestTemperatureErrors(t *testing.T) {
+	if _, err := Temperature(TemperatureConfig{Records: 0, LatBins: 8, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8}); err == nil {
+		t.Error("zero records should fail")
+	}
+	if _, err := Temperature(TemperatureConfig{Records: 10, LatBins: 7, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8}); err == nil {
+		t.Error("non-pow2 bins should fail")
+	}
+}
+
+func TestDefaultTemperatureConfigValid(t *testing.T) {
+	cfg := DefaultTemperatureConfig()
+	if _, err := cfg.Schema(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Records <= 0 {
+		t.Fatal("default records nonpositive")
+	}
+}
+
+func TestZipf(t *testing.T) {
+	s := MustSchema([]string{"x", "y"}, []int{16, 16})
+	d, err := Zipf(s, 2000, 1.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TupleCount != 2000 {
+		t.Fatalf("TupleCount = %d", d.TupleCount)
+	}
+	// Skew: cell (0,0) should hold many more tuples than cell (15,15).
+	if d.At([]int{0, 0}) <= d.At([]int{15, 15}) {
+		t.Fatal("Zipf distribution shows no skew")
+	}
+	if _, err := Zipf(s, 10, 1.0, 1); err == nil {
+		t.Error("exponent 1.0 should fail")
+	}
+}
+
+func TestGaussianClusters(t *testing.T) {
+	s := MustSchema([]string{"x", "y"}, []int{32, 32})
+	d, err := GaussianClusters(s, 3000, 3, 0.05, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TupleCount != 3000 {
+		t.Fatalf("TupleCount = %d", d.TupleCount)
+	}
+	// Clustered data concentrates mass: the top 10% of cells should hold
+	// most tuples.
+	cells := append([]float64(nil), d.Cells...)
+	var total float64
+	for _, v := range cells {
+		total += v
+	}
+	// Count mass in cells above a small threshold.
+	var concentrated float64
+	for _, v := range cells {
+		if v >= 3 {
+			concentrated += v
+		}
+	}
+	if concentrated < total/2 {
+		t.Fatalf("clusters look uniform: %g of %g in dense cells", concentrated, total)
+	}
+	if _, err := GaussianClusters(s, 10, 0, 0.1, 1); err == nil {
+		t.Error("zero clusters should fail")
+	}
+	if _, err := GaussianClusters(s, 10, 2, 0, 1); err == nil {
+		t.Error("zero sigma should fail")
+	}
+}
+
+func BenchmarkTemperatureGenerate(b *testing.B) {
+	cfg := TemperatureConfig{Records: 50000, LatBins: 16, LonBins: 16, AltBins: 4, TimeBins: 16, TempBins: 16, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Temperature(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

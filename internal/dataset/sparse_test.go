@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wavelet"
+)
+
+func TestSparseDistributionMatchesDense(t *testing.T) {
+	cfg := TemperatureConfig{
+		Records: 3000,
+		LatBins: 8, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8,
+		Seed: 13,
+	}
+	dense, err := Temperature(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := TemperatureSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.TupleCount != dense.TupleCount {
+		t.Fatalf("tuple counts differ: %d vs %d", sp.TupleCount, dense.TupleCount)
+	}
+	// Cell-for-cell identical data (same seed, shared generator).
+	for idx, v := range dense.Cells {
+		if got := sp.Cells[idx]; got != v && !(v == 0 && got == 0) {
+			t.Fatalf("cell %d: sparse %g dense %g", idx, got, v)
+		}
+	}
+	// Transforms agree.
+	want, err := dense.Transform(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sp.TransformSparse(wavelet.Db4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if math.Abs(got[k]-w) > 1e-7*(1+math.Abs(w)) {
+			t.Fatalf("coefficient %d: sparse %g dense %g", k, got[k], w)
+		}
+	}
+}
+
+func TestSparseDistributionBasics(t *testing.T) {
+	schema := MustSchema([]string{"x", "y"}, []int{8, 8})
+	d := NewSparseDistribution(schema)
+	d.AddTuple([]int{1, 2})
+	d.AddTuple([]int{1, 2})
+	if d.At([]int{1, 2}) != 2 || d.At([]int{0, 0}) != 0 {
+		t.Fatal("AddTuple/At wrong")
+	}
+	if d.TupleCount != 2 {
+		t.Fatalf("TupleCount = %d", d.TupleCount)
+	}
+}
+
+func TestTemperatureSparseValidation(t *testing.T) {
+	if _, err := TemperatureSparse(TemperatureConfig{Records: 0, LatBins: 8, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8}); err == nil {
+		t.Error("zero records should fail")
+	}
+	if _, err := TemperatureSparse(TemperatureConfig{Records: 1, LatBins: 7, LonBins: 8, AltBins: 4, TimeBins: 8, TempBins: 8}); err == nil {
+		t.Error("bad bins should fail")
+	}
+}
+
+// The point of the sparse path: a domain far too large to materialize.
+// Haar keeps the per-record fill-in small (~(log n)^d); longer filters pay
+// (L·log n)^d and can lose to the dense transform — see the package docs.
+func TestSparseHugeDomain(t *testing.T) {
+	cfg := TemperatureConfig{
+		Records: 2000,
+		LatBins: 64, LonBins: 64, AltBins: 16, TimeBins: 64, TempBins: 64,
+		Seed: 3,
+	} // 268M cells — a dense array would be 2.1 GB
+	sp, err := TemperatureSparse(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hat, err := sp.TransformSparse(wavelet.Haar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hat) == 0 {
+		t.Fatal("no coefficients")
+	}
+	// Parseval on the sparse representations.
+	var eData, eHat float64
+	for _, v := range sp.Cells {
+		eData += v * v
+	}
+	for _, v := range hat {
+		eHat += v * v
+	}
+	if math.Abs(eData-eHat) > 1e-6*(1+eData) {
+		t.Fatalf("energy %g vs %g", eData, eHat)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestDefaultScaleSmoke exercises the full reproduction scale end to end —
+// the same configuration cmd/experiments runs. It is the slowest test in
+// the repository (~10 s) and is skipped under -short.
+func TestDefaultScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale smoke test skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Temperature.Records = 100_000 // lighter data load, same structure
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Batch) != 512 {
+		t.Fatalf("batch size %d", len(w.Batch))
+	}
+	res, err := RunObs1(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WaveletSharing < 10 {
+		t.Fatalf("sharing %.1f unexpectedly low at full scale", res.WaveletSharing)
+	}
+	series, err := RunFig5(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := series[len(series)-1]; last.TotalRel > 1e-9 {
+		t.Fatalf("full-scale run not exact at completion: %g", last.TotalRel)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/penalty"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+// The paper's conclusion calls for "the development of optimal disk layout
+// strategies for wavelet data" and for "combining this analysis with
+// workload information". This experiment measures three layouts under the
+// simulated block store:
+//
+//   - natural: coefficients stored in row-major key order (the layout a
+//     naïve dump of the transformed array produces);
+//   - level-major: coefficients sorted by total resolution level, coarsest
+//     first — a workload-independent layout exploiting that every range
+//     query needs the coarse coefficients;
+//   - importance: coefficients sorted by the workload's importance function
+//     — the workload-aware layout the conclusion envisions.
+//
+// The metric is the number of distinct blocks fetched to reach exactness,
+// and to reach 10% of the master list progressively.
+
+// LayoutRow is the measurement for one layout.
+type LayoutRow struct {
+	Name          string
+	BlocksExact   int64
+	BlocksAt10Pct int64
+}
+
+// RunLayoutStudy measures the three layouts on the shared workload with the
+// given block size (coefficients per block).
+func RunLayoutStudy(w *Workload, blockSize int) ([]LayoutRow, error) {
+	if blockSize < 1 {
+		return nil, fmt.Errorf("experiments: block size must be positive, got %d", blockSize)
+	}
+	cells, err := w.Dist.Transform(w.Config.Filter)
+	if err != nil {
+		return nil, err
+	}
+	total := len(cells)
+
+	// Layout 1: natural key order.
+	natural := make([]int, total)
+	for i := range natural {
+		natural[i] = i
+	}
+
+	// Layout 2: level-major. A coefficient's resolution is the sum of its
+	// per-dimension pyramid levels (0 = coarsest).
+	dims := w.Schema.Sizes
+	coords := make([]int, len(dims))
+	levelOf := make([]int, total)
+	for k := range levelOf {
+		wavelet.Unflatten(k, dims, coords)
+		lv := 0
+		for i, c := range coords {
+			lv += wavelet.PositionLevel(dims[i], c)
+		}
+		levelOf[k] = lv
+	}
+	levelMajor := append([]int(nil), natural...)
+	sort.SliceStable(levelMajor, func(a, b int) bool {
+		if levelOf[levelMajor[a]] != levelOf[levelMajor[b]] {
+			return levelOf[levelMajor[a]] < levelOf[levelMajor[b]]
+		}
+		return levelMajor[a] < levelMajor[b]
+	})
+
+	// Layout 3: workload importance order; keys outside the plan follow in
+	// level-major order.
+	imp := make([]float64, total)
+	for k := range imp {
+		imp[k] = math.Inf(-1)
+	}
+	imps := w.Plan.Importances(penalty.SSE{})
+	keys := planKeys(w.Plan)
+	for i, k := range keys {
+		imp[k] = imps[i]
+	}
+	importance := append([]int(nil), levelMajor...)
+	sort.SliceStable(importance, func(a, b int) bool {
+		ia, ib := imp[importance[a]], imp[importance[b]]
+		if ia != ib {
+			return ia > ib
+		}
+		return false // keep level-major order among ties / non-plan keys
+	})
+
+	layouts := []struct {
+		name   string
+		layout []int
+	}{
+		{"natural", natural},
+		{"level-major", levelMajor},
+		{"importance", importance},
+	}
+	rows := make([]LayoutRow, 0, len(layouts))
+	for _, l := range layouts {
+		relocated, err := storage.ApplyLayout(cells, l.layout)
+		if err != nil {
+			return nil, err
+		}
+		bs := storage.NewBlockStore(storage.NewArrayStore(relocated), blockSize)
+		remap, err := storage.NewRemappedStore(bs, l.layout)
+		if err != nil {
+			return nil, err
+		}
+		run := core.NewRun(w.Plan, penalty.SSE{}, remap)
+		tenth := w.Plan.DistinctCoefficients() / 10
+		run.StepN(tenth)
+		at10 := bs.BlockReads()
+		run.RunToCompletion()
+		// Sanity: the layout must not change answers.
+		for i, v := range run.Estimates() {
+			if math.Abs(v-w.Truth[i]) > 1e-6*(1+math.Abs(w.Truth[i])) {
+				return nil, fmt.Errorf("experiments: layout %s corrupted query %d", l.name, i)
+			}
+		}
+		rows = append(rows, LayoutRow{Name: l.name, BlocksExact: bs.BlockReads(), BlocksAt10Pct: at10})
+	}
+	return rows, nil
+}
+
+// planKeys exposes the plan's distinct keys in the same order Importances
+// reports them.
+func planKeys(p *core.Plan) []int {
+	keys := make([]int, 0, p.DistinctCoefficients())
+	p.ForEachEntry(func(key int, _ []int32, _ []float64) {
+		keys = append(keys, key)
+	})
+	return keys
+}
+
+// WriteLayoutTable renders the study.
+func WriteLayoutTable(out io.Writer, rows []LayoutRow, blockSize int) {
+	fmt.Fprintf(out, "Disk layout study (block size %d coefficients; lower is better):\n", blockSize)
+	fmt.Fprintf(out, "  %-14s %14s %16s\n", "layout", "blocks@10%", "blocks to exact")
+	for _, r := range rows {
+		fmt.Fprintf(out, "  %-14s %14d %16d\n", r.Name, r.BlocksAt10Pct, r.BlocksExact)
+	}
+}

@@ -1,0 +1,154 @@
+package ingest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `age,salary,dept,notes
+25,50000,1,hello
+30,60000,2,world
+45,90000,1,
+60,120000,3,x
+25,52000,2,y
+`
+
+func TestColumnSpec(t *testing.T) {
+	cols, err := ColumnSpec("age:64, salary:128, score:32[0..100]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	if cols[0].Name != "age" || cols[0].Bins != 64 {
+		t.Fatalf("col0 = %+v", cols[0])
+	}
+	if cols[2].Min != 0 || cols[2].Max != 100 {
+		t.Fatalf("col2 window = [%g,%g]", cols[2].Min, cols[2].Max)
+	}
+}
+
+func TestColumnSpecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"age",
+		"age:abc",
+		"age:64[5..]",
+		"age:64[5..3]",
+		"age:64[bad..10]",
+		"age:64[0..bad]",
+		"age:64[0..10",
+	}
+	for _, spec := range cases {
+		if _, err := ColumnSpec(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestCSVIngestAutoWindow(t *testing.T) {
+	cols, err := ColumnSpec("age:16,salary:16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CSV(strings.NewReader(sampleCSV), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 5 || res.Skipped != 0 {
+		t.Fatalf("rows=%d skipped=%d", res.Rows, res.Skipped)
+	}
+	if res.Dist.TupleCount != 5 {
+		t.Fatalf("TupleCount = %d", res.Dist.TupleCount)
+	}
+	// Window discovered from data.
+	if res.Windows[0][0] != 25 || res.Windows[0][1] != 60 {
+		t.Fatalf("age window = %v", res.Windows[0])
+	}
+	// The youngest rows land in bin 0, the oldest in the top bin.
+	var massLow, massHigh float64
+	coords := make([]int, 2)
+	for s := 0; s < 16; s++ {
+		coords[0], coords[1] = 0, s
+		massLow += res.Dist.At(coords)
+		coords[0] = 15
+		massHigh += res.Dist.At(coords)
+	}
+	if massLow != 2 { // two age-25 rows
+		t.Fatalf("bin-0 mass = %g", massLow)
+	}
+	if massHigh != 1 { // the age-60 row clamps to the top bin
+		t.Fatalf("top-bin mass = %g", massHigh)
+	}
+}
+
+func TestCSVIngestExplicitWindowAndSkips(t *testing.T) {
+	src := `v
+1.5
+bad
+2.5
+
+99
+`
+	cols := []Column{{Name: "v", Bins: 4, Min: 0, Max: 4}}
+	res, err := CSV(strings.NewReader(src), cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/csv drops the blank line before we see it, so only "bad" is
+	// counted as skipped.
+	if res.Rows != 3 || res.Skipped != 1 {
+		t.Fatalf("rows=%d skipped=%d", res.Rows, res.Skipped)
+	}
+	// 1.5→bin1, 2.5→bin2, 99 clamps→bin3.
+	for bin, want := range map[int]float64{1: 1, 2: 1, 3: 1} {
+		if got := res.Dist.At([]int{bin}); got != want {
+			t.Fatalf("bin %d = %g, want %g", bin, got, want)
+		}
+	}
+}
+
+func TestCSVIngestErrors(t *testing.T) {
+	cols := []Column{{Name: "v", Bins: 4}}
+	if _, err := CSV(strings.NewReader(""), cols); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := CSV(strings.NewReader("other\n1\n"), cols); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := CSV(strings.NewReader("v\nbad\n"), cols); err == nil {
+		t.Error("no usable rows should fail")
+	}
+	badBins := []Column{{Name: "v", Bins: 3}}
+	if _, err := CSV(strings.NewReader("v\n1\n"), badBins); err == nil {
+		t.Error("non-pow2 bins should fail")
+	}
+	if _, err := CSV(strings.NewReader("v\n1\n"), nil); err == nil {
+		t.Error("no columns should fail")
+	}
+}
+
+func TestCSVConstantColumn(t *testing.T) {
+	src := "v\n7\n7\n7\n"
+	res, err := CSV(strings.NewReader(src), []Column{{Name: "v", Bins: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist.At([]int{0}) != 3 {
+		t.Fatalf("constant column mass misplaced: %v", res.Dist.Cells)
+	}
+}
+
+func TestQuantizeAndBinValue(t *testing.T) {
+	if quantize(0, 0, 10, 4) != 0 || quantize(9.99, 0, 10, 4) != 3 {
+		t.Fatal("quantize edges wrong")
+	}
+	if quantize(-5, 0, 10, 4) != 0 || quantize(50, 0, 10, 4) != 3 {
+		t.Fatal("quantize clamping wrong")
+	}
+	if v := BinValue(2, [2]float64{0, 10}, 4); math.Abs(v-5) > 1e-12 {
+		t.Fatalf("BinValue = %g", v)
+	}
+}

@@ -1,0 +1,231 @@
+// Package linstrat implements the paper's Section 1.2 generalization: a
+// linear storage/evaluation strategy is any invertible linear transform of
+// the data frequency distribution together with the matching rewriting of
+// query vectors, so that a query answer is always the inner product of a
+// (hopefully sparse) rewritten query with the stored representation.
+// Batch-Biggest-B runs unchanged on any of them.
+//
+// Besides the wavelet strategy, the package provides prefix-sum
+// precomputation (Ho et al., the paper's comparison point: "using
+// prefix-sums ... 8192 precomputed values, ... only 512 with
+// Batch-Biggest-B") and the identity strategy (no precomputation).
+package linstrat
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/sparse"
+	"repro/internal/wavelet"
+)
+
+// Strategy is a linear storage/evaluation strategy: Precompute transforms Δ
+// into the stored array; RewriteQuery expresses a query as a sparse vector
+// over that array with answer = ⟨rewritten, stored⟩.
+type Strategy interface {
+	Name() string
+	Precompute(d *dataset.Distribution) ([]float64, error)
+	RewriteQuery(q *query.Query) (sparse.Vector, error)
+}
+
+// Wavelet is the paper's primary strategy: store Δ̂ under an orthonormal
+// filter, rewrite queries by the lazy sparse transform.
+type Wavelet struct {
+	Filter *wavelet.Filter
+}
+
+// Name implements Strategy.
+func (w Wavelet) Name() string { return "wavelet-" + w.Filter.Name }
+
+// Precompute implements Strategy.
+func (w Wavelet) Precompute(d *dataset.Distribution) ([]float64, error) {
+	return d.Transform(w.Filter)
+}
+
+// RewriteQuery implements Strategy.
+func (w Wavelet) RewriteQuery(q *query.Query) (sparse.Vector, error) {
+	return q.Coefficients(w.Filter)
+}
+
+// PrefixSum stores the d-dimensional prefix-sum array
+// P[x] = Σ_{y ≤ x} Δ[y]. A COUNT over a hyper-rectangle rewrites to at most
+// 2^d signed corner lookups (inclusion–exclusion). Queries of positive
+// degree are not supported by plain prefix sums; RewriteQuery returns an
+// error for them.
+type PrefixSum struct{}
+
+// Name implements Strategy.
+func (PrefixSum) Name() string { return "prefix-sum" }
+
+// Precompute implements Strategy.
+func (PrefixSum) Precompute(d *dataset.Distribution) ([]float64, error) {
+	dims := d.Schema.Sizes
+	out := make([]float64, len(d.Cells))
+	copy(out, d.Cells)
+	// Running sum along each axis in turn.
+	strides := make([]int, len(dims))
+	s := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	total := len(out)
+	for axis := range dims {
+		n := dims[axis]
+		if n == 1 {
+			continue
+		}
+		stride := strides[axis]
+		lines := total / n
+		for li := 0; li < lines; li++ {
+			base := lineBase(li, axis, dims, strides)
+			for k := 1; k < n; k++ {
+				out[base+k*stride] += out[base+(k-1)*stride]
+			}
+		}
+	}
+	return out, nil
+}
+
+// lineBase mirrors the stride walk used by the wavelet package's ND
+// transform: the flat offset of the li-th 1-D line along axis.
+func lineBase(li, axis int, dims, strides []int) int {
+	base := 0
+	for i := 0; i < len(dims); i++ {
+		if i == axis {
+			continue
+		}
+		rem := 1
+		for j := i + 1; j < len(dims); j++ {
+			if j == axis {
+				continue
+			}
+			rem *= dims[j]
+		}
+		coord := li / rem
+		li %= rem
+		base += coord * strides[i]
+	}
+	return base
+}
+
+// RewriteQuery implements Strategy.
+func (PrefixSum) RewriteQuery(q *query.Query) (sparse.Vector, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Degree() != 0 {
+		return nil, fmt.Errorf("linstrat: prefix-sum strategy supports only COUNT (degree-0) queries, got degree %d", q.Degree())
+	}
+	var scale float64
+	for _, t := range q.Terms {
+		scale += t.Coeff
+	}
+	dims := q.Schema.Sizes
+	out := sparse.New()
+	d := len(dims)
+	corner := make([]int, d)
+	// Enumerate the 2^d corners: bit i selects hi_i (sign +) or lo_i − 1
+	// (sign −, dropped when lo_i == 0).
+	for mask := 0; mask < 1<<d; mask++ {
+		sign := scale
+		ok := true
+		for i := 0; i < d; i++ {
+			if mask&(1<<i) == 0 {
+				corner[i] = q.Range.Hi[i]
+			} else {
+				if q.Range.Lo[i] == 0 {
+					ok = false
+					break
+				}
+				corner[i] = q.Range.Lo[i] - 1
+				sign = -sign
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := wavelet.FlatIndex(corner, dims)
+		if v := out[key] + sign; v == 0 {
+			delete(out, key)
+		} else {
+			out[key] = v
+		}
+	}
+	return out, nil
+}
+
+// Identity stores Δ itself ("no precomputation"). Query rewriting is the
+// query vector itself: every cell of the range box with its polynomial
+// weight. Exact but dense — the strategy the paper's preprocessing is meant
+// to beat; useful as a baseline and for tiny domains.
+type Identity struct{}
+
+// Name implements Strategy.
+func (Identity) Name() string { return "identity" }
+
+// Precompute implements Strategy.
+func (Identity) Precompute(d *dataset.Distribution) ([]float64, error) {
+	out := make([]float64, len(d.Cells))
+	copy(out, d.Cells)
+	return out, nil
+}
+
+// RewriteQuery implements Strategy.
+func (Identity) RewriteQuery(q *query.Query) (sparse.Vector, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	dims := q.Schema.Sizes
+	out := sparse.New()
+	coords := append([]int(nil), q.Range.Lo...)
+	for {
+		var w float64
+		for _, t := range q.Terms {
+			term := t.Coeff
+			for i, p := range t.Powers {
+				for k := 0; k < p; k++ {
+					term *= float64(coords[i])
+				}
+			}
+			w += term
+		}
+		if w != 0 {
+			out[wavelet.FlatIndex(coords, dims)] = w
+		}
+		i := len(coords) - 1
+		for i >= 0 {
+			coords[i]++
+			if coords[i] <= q.Range.Hi[i] {
+				break
+			}
+			coords[i] = q.Range.Lo[i]
+			i--
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// BuildPlan rewrites every query in the batch under the strategy and merges
+// the results into a core.Plan, making any linear strategy a drop-in
+// substrate for Batch-Biggest-B.
+func BuildPlan(s Strategy, batch query.Batch) (*core.Plan, error) {
+	if err := batch.Validate(); err != nil {
+		return nil, err
+	}
+	vectors := make([]sparse.Vector, len(batch))
+	labels := make([]string, len(batch))
+	for i, q := range batch {
+		v, err := s.RewriteQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("linstrat: query %d under %s: %w", i, s.Name(), err)
+		}
+		vectors[i] = v
+		labels[i] = q.Label
+	}
+	return core.NewPlan(vectors, labels)
+}

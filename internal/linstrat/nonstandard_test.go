@@ -1,0 +1,165 @@
+package linstrat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/wavelet"
+)
+
+func hypercubeDist(t *testing.T) (*dataset.Schema, *dataset.Distribution) {
+	t.Helper()
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{16, 16})
+	return schema, dataset.Uniform(schema, 1500, 77)
+}
+
+func TestNonstandardStrategyCountsMatchDirect(t *testing.T) {
+	schema, dist := hypercubeDist(t)
+	for _, f := range []*wavelet.Filter{wavelet.Haar, wavelet.Db4} {
+		s := NonstandardWavelet{Filter: f}
+		stored, err := s.Precompute(dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(81))
+		for trial := 0; trial < 15; trial++ {
+			lo := []int{rng.Intn(16), rng.Intn(16)}
+			hi := []int{lo[0] + rng.Intn(16-lo[0]), lo[1] + rng.Intn(16-lo[1])}
+			r, err := query.NewRange(schema, lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := query.Count(schema, r)
+			vec, err := s.RewriteQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := vec.DotDense(stored)
+			want := q.EvaluateDirect(dist)
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("%s %s: got %g want %g", s.Name(), r, got, want)
+			}
+		}
+	}
+}
+
+func TestNonstandardStrategySumsMatchDirect(t *testing.T) {
+	schema, dist := hypercubeDist(t)
+	s := NonstandardWavelet{Filter: wavelet.Db4}
+	stored, err := s.Precompute(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := query.NewRange(schema, []int{3, 5}, []int{12, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"x", "y"} {
+		q, err := query.Sum(schema, r, attr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := s.RewriteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := vec.DotDense(stored)
+		want := q.EvaluateDirect(dist)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("sum(%s): got %g want %g", attr, got, want)
+		}
+	}
+}
+
+func TestNonstandardStrategy3D(t *testing.T) {
+	schema := dataset.MustSchema([]string{"x", "y", "z"}, []int{8, 8, 8})
+	dist := dataset.Uniform(schema, 1000, 5)
+	s := NonstandardWavelet{Filter: wavelet.Haar}
+	stored, err := s.Precompute(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := query.NewRange(schema, []int{1, 2, 0}, []int{6, 7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Count(schema, r)
+	vec, err := s.RewriteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vec.DotDense(stored)
+	want := q.EvaluateDirect(dist)
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Fatalf("got %g want %g", got, want)
+	}
+}
+
+func TestNonstandardRejectsNonHypercube(t *testing.T) {
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{16, 8})
+	s := NonstandardWavelet{Filter: wavelet.Haar}
+	q := query.Count(schema, query.FullDomain(schema))
+	if _, err := s.RewriteQuery(q); err == nil {
+		t.Error("non-hypercube should fail")
+	}
+	dist := dataset.NewDistribution(schema)
+	if _, err := s.Precompute(dist); err == nil {
+		t.Error("non-hypercube precompute should fail")
+	}
+}
+
+// The ablation claim: nonstandard rewritings of range queries are much
+// denser than standard ones — O(perimeter) vs O(polylog) — which is why the
+// paper uses the standard decomposition.
+func TestNonstandardDenserThanStandard(t *testing.T) {
+	// The gap is O(perimeter) vs O(log²): modest at N=64, decisive at
+	// N=256 and growing.
+	prevRatio := 0.0
+	for _, n := range []int{64, 256} {
+		schema := dataset.MustSchema([]string{"x", "y"}, []int{n, n})
+		r, err := query.NewRange(schema, []int{n / 10, n / 8}, []int{n * 8 / 10, n * 7 / 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := query.Count(schema, r)
+		std, err := (Wavelet{Filter: wavelet.Haar}).RewriteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		non, err := (NonstandardWavelet{Filter: wavelet.Haar}).RewriteQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(len(non)) / float64(len(std))
+		t.Logf("N=%d: standard %d vs nonstandard %d (%.1fx)", n, len(std), len(non), ratio)
+		if ratio <= 1 {
+			t.Fatalf("N=%d: nonstandard (%d) not denser than standard (%d)", n, len(non), len(std))
+		}
+		if ratio < prevRatio {
+			t.Fatalf("density gap should grow with N: %.2f after %.2f", ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 2 {
+		t.Fatalf("at N=256 the nonstandard rewriting should be ≥2x denser, got %.2fx", prevRatio)
+	}
+}
+
+func TestNonstandardFullDomainCountIsSingleCoefficient(t *testing.T) {
+	// χ over the whole hypercube has only the final scaling coefficient.
+	schema := dataset.MustSchema([]string{"x", "y"}, []int{16, 16})
+	q := query.Count(schema, query.FullDomain(schema))
+	vec, err := (NonstandardWavelet{Filter: wavelet.Haar}).RewriteQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 1 {
+		t.Fatalf("full-domain count has %d nonzeros, want 1", len(vec))
+	}
+	if math.Abs(vec[0]-16) > 1e-9 { // √(16·16) = 16
+		t.Fatalf("scaling coefficient %g, want 16", vec[0])
+	}
+}

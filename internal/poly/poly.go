@@ -1,0 +1,271 @@
+// Package poly implements dense univariate polynomials with float64
+// coefficients.
+//
+// Polynomials are the symbolic backbone of the lazy wavelet transform used to
+// compute sparse query-vector coefficients: the restriction of a polynomial
+// range-sum query to any dyadic block is a polynomial, and convolving a
+// polynomial sequence with a FIR filter followed by downsampling yields
+// another polynomial sequence of the same degree. Package poly provides the
+// arithmetic (addition, scaling, multiplication, affine substitution)
+// required to push polynomial runs through the filter cascade symbolically.
+package poly
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Poly is a univariate polynomial. The coefficient of x^i is stored at
+// index i; the zero polynomial is represented by an empty (or nil) slice.
+// Trailing zero coefficients are trimmed by the constructors and operations,
+// so Degree is well defined.
+type Poly []float64
+
+// New returns the polynomial with the given coefficients, constant term
+// first. Trailing zeros are trimmed.
+func New(coeffs ...float64) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.trim()
+}
+
+// Zero returns the zero polynomial.
+func Zero() Poly { return Poly{} }
+
+// Constant returns the degree-0 polynomial with value c (or the zero
+// polynomial if c == 0).
+func Constant(c float64) Poly { return New(c) }
+
+// X returns the monomial x.
+func X() Poly { return Poly{0, 1} }
+
+// Monomial returns c*x^n.
+func Monomial(c float64, n int) Poly {
+	if n < 0 {
+		panic("poly: negative monomial degree")
+	}
+	if c == 0 {
+		return Zero()
+	}
+	p := make(Poly, n+1)
+	p[n] = c
+	return p
+}
+
+func (p Poly) trim() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == 0 {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, with -1 for the zero polynomial.
+func (p Poly) Degree() int { return len(p.trim()) - 1 }
+
+// IsZero reports whether p is identically zero.
+func (p Poly) IsZero() bool { return len(p.trim()) == 0 }
+
+// Eval evaluates p at x using Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	var v float64
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*x + p[i]
+	}
+	return v
+}
+
+// EvalInt evaluates p at the integer point k.
+func (p Poly) EvalInt(k int) float64 { return p.Eval(float64(k)) }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	r := make(Poly, n)
+	copy(r, p)
+	for i, c := range q {
+		r[i] += c
+	}
+	return r.trim()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly { return p.Add(q.Scale(-1)) }
+
+// Scale returns c*p.
+func (p Poly) Scale(c float64) Poly {
+	if c == 0 {
+		return Zero()
+	}
+	r := make(Poly, len(p))
+	for i, a := range p {
+		r[i] = c * a
+	}
+	return r.trim()
+}
+
+// Mul returns the product p*q.
+func (p Poly) Mul(q Poly) Poly {
+	p, q = p.trim(), q.trim()
+	if len(p) == 0 || len(q) == 0 {
+		return Zero()
+	}
+	r := make(Poly, len(p)+len(q)-1)
+	for i, a := range p {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q {
+			r[i+j] += a * b
+		}
+	}
+	return r.trim()
+}
+
+// AffineCompose returns the polynomial p(a*x + b).
+//
+// This is the reindexing step of the filter cascade: if a level-j
+// approximation run is the polynomial P(k), the contribution of filter tap
+// h[n] to output index k reads the input at index 2k+n, i.e. evaluates
+// P(2k+n) = P.AffineCompose(2, n) as a polynomial in k.
+func (p Poly) AffineCompose(a, b float64) Poly {
+	p = p.trim()
+	if len(p) == 0 {
+		return Zero()
+	}
+	// Horner on polynomials: result = (((c_n)*(ax+b) + c_{n-1})*(ax+b) + ...).
+	lin := New(b, a)
+	r := Constant(p[len(p)-1])
+	for i := len(p) - 2; i >= 0; i-- {
+		r = r.Mul(lin).Add(Constant(p[i]))
+	}
+	return r.trim()
+}
+
+// Shift returns p(x + b).
+func (p Poly) Shift(b float64) Poly { return p.AffineCompose(1, b) }
+
+// Derivative returns p'.
+func (p Poly) Derivative() Poly {
+	p = p.trim()
+	if len(p) <= 1 {
+		return Zero()
+	}
+	r := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		r[i-1] = float64(i) * p[i]
+	}
+	return r.trim()
+}
+
+// Equal reports whether p and q have identical trimmed coefficients.
+func (p Poly) Equal(q Poly) bool {
+	p, q = p.trim(), q.trim()
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApproxEqual reports whether all coefficients of p - q are within tol.
+func (p Poly) ApproxEqual(q Poly, tol float64) bool {
+	d := p.Sub(q)
+	for _, c := range d {
+		if math.Abs(c) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsCoeff returns the largest absolute coefficient value, 0 for the zero
+// polynomial.
+func (p Poly) MaxAbsCoeff() float64 {
+	var m float64
+	for _, c := range p {
+		if a := math.Abs(c); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// IsApproxZero reports whether every coefficient is within tol of zero.
+func (p Poly) IsApproxZero(tol float64) bool { return p.MaxAbsCoeff() <= tol }
+
+// String renders p in human-readable form, e.g. "3 + 2x - x^2".
+func (p Poly) String() string {
+	p = p.trim()
+	if len(p) == 0 {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i, c := range p {
+		if c == 0 {
+			continue
+		}
+		switch {
+		case first:
+			first = false
+			if c < 0 {
+				b.WriteString("-")
+				c = -c
+			}
+		case c < 0:
+			b.WriteString(" - ")
+			c = -c
+		default:
+			b.WriteString(" + ")
+		}
+		switch {
+		case i == 0:
+			fmt.Fprintf(&b, "%g", c)
+		case i == 1:
+			if c == 1 {
+				b.WriteString("x")
+			} else {
+				fmt.Fprintf(&b, "%gx", c)
+			}
+		default:
+			if c == 1 {
+				fmt.Fprintf(&b, "x^%d", i)
+			} else {
+				fmt.Fprintf(&b, "%gx^%d", c, i)
+			}
+		}
+	}
+	if first {
+		return "0"
+	}
+	return b.String()
+}
+
+// SampleInts evaluates p at k = lo, lo+1, …, hi and returns the values.
+// It panics if hi < lo.
+func (p Poly) SampleInts(lo, hi int) []float64 {
+	if hi < lo {
+		panic("poly: SampleInts with hi < lo")
+	}
+	out := make([]float64, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out[k-lo] = p.EvalInt(k)
+	}
+	return out
+}

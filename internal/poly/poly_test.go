@@ -1,0 +1,290 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTrimsTrailingZeros(t *testing.T) {
+	p := New(1, 2, 0, 0)
+	if p.Degree() != 1 {
+		t.Fatalf("Degree = %d, want 1", p.Degree())
+	}
+	if Zero().Degree() != -1 {
+		t.Fatalf("zero degree = %d, want -1", Zero().Degree())
+	}
+	if !New(0, 0).IsZero() {
+		t.Fatal("New(0,0) should be zero")
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := New(1, -2, 3) // 1 - 2x + 3x^2
+	cases := []struct{ x, want float64 }{
+		{0, 1}, {1, 2}, {2, 9}, {-1, 6},
+	}
+	for _, c := range cases {
+		if got := p.Eval(c.x); got != c.want {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	p := New(1, 2, 3)
+	q := New(4, 5)
+	sum := p.Add(q)
+	if !sum.Equal(New(5, 7, 3)) {
+		t.Fatalf("Add = %v", sum)
+	}
+	if !p.Sub(p).IsZero() {
+		t.Fatal("p - p should be zero")
+	}
+	if !p.Scale(0).IsZero() {
+		t.Fatal("0*p should be zero")
+	}
+	if !p.Scale(2).Equal(New(2, 4, 6)) {
+		t.Fatalf("Scale(2) = %v", p.Scale(2))
+	}
+}
+
+func TestAddCancellationTrims(t *testing.T) {
+	p := New(1, 0, 3)
+	q := New(0, 0, -3)
+	if got := p.Add(q); got.Degree() != 0 {
+		t.Fatalf("degree after cancellation = %d, want 0", got.Degree())
+	}
+}
+
+func TestMul(t *testing.T) {
+	p := New(1, 1)  // 1+x
+	q := New(-1, 1) // -1+x
+	if got := p.Mul(q); !got.Equal(New(-1, 0, 1)) {
+		t.Fatalf("(1+x)(x-1) = %v, want x^2-1", got)
+	}
+	if !p.Mul(Zero()).IsZero() {
+		t.Fatal("p*0 should be zero")
+	}
+}
+
+func TestAffineCompose(t *testing.T) {
+	p := New(0, 0, 1) // x^2
+	// p(2k+3) = 4k^2 + 12k + 9
+	got := p.AffineCompose(2, 3)
+	if !got.Equal(New(9, 12, 4)) {
+		t.Fatalf("AffineCompose = %v", got)
+	}
+	// Composition with identity is identity.
+	q := New(1, 2, 3, 4)
+	if !q.AffineCompose(1, 0).Equal(q) {
+		t.Fatal("p(x) after identity compose changed")
+	}
+}
+
+func TestAffineComposeMatchesPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		deg := rng.Intn(5)
+		p := make(Poly, deg+1)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		a := float64(rng.Intn(5) - 2)
+		b := float64(rng.Intn(9) - 4)
+		q := p.AffineCompose(a, b)
+		for k := -3; k <= 3; k++ {
+			x := float64(k)
+			want := p.Eval(a*x + b)
+			got := q.Eval(x)
+			if math.Abs(want-got) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: q(%g)=%g want %g (p=%v a=%g b=%g)",
+					trial, x, got, want, p, a, b)
+			}
+		}
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := New(0, 1) // x
+	if got := p.Shift(5); !got.Equal(New(5, 1)) {
+		t.Fatalf("Shift = %v", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	p := New(7, 3, 0, 2) // 7 + 3x + 2x^3
+	if got := p.Derivative(); !got.Equal(New(3, 0, 6)) {
+		t.Fatalf("Derivative = %v", got)
+	}
+	if !Constant(4).Derivative().IsZero() {
+		t.Fatal("constant derivative should be zero")
+	}
+}
+
+func TestMonomial(t *testing.T) {
+	if got := Monomial(3, 2); !got.Equal(New(0, 0, 3)) {
+		t.Fatalf("Monomial = %v", got)
+	}
+	if !Monomial(0, 5).IsZero() {
+		t.Fatal("zero-coefficient monomial should be zero")
+	}
+}
+
+func TestMonomialPanicsOnNegativeDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Monomial(1, -1)
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want string
+	}{
+		{Zero(), "0"},
+		{New(1), "1"},
+		{New(-1, 2), "-1 + 2x"},
+		{New(0, 1), "x"},
+		{New(0, 0, 1), "x^2"},
+		{New(3, -2, 1), "3 - 2x + x^2"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", []float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestSampleInts(t *testing.T) {
+	p := New(0, 1) // x
+	got := p.SampleInts(2, 5)
+	want := []float64{2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SampleInts = %v", got)
+		}
+	}
+}
+
+func TestSampleIntsPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).SampleInts(3, 2)
+}
+
+// Property: ring axioms hold pointwise.
+func TestQuickRingLaws(t *testing.T) {
+	gen := func(vals []float64) Poly {
+		if len(vals) > 6 {
+			vals = vals[:6]
+		}
+		// Bound coefficients so products stay finite.
+		p := make(Poly, len(vals))
+		for i, v := range vals {
+			p[i] = math.Mod(v, 100)
+			if math.IsNaN(p[i]) {
+				p[i] = 0
+			}
+		}
+		return p.trim()
+	}
+	distrib := func(a, b, c []float64, x float64) bool {
+		p, q, r := gen(a), gen(b), gen(c)
+		x = math.Mod(x, 4)
+		if math.IsNaN(x) {
+			x = 0
+		}
+		left := p.Mul(q.Add(r)).Eval(x)
+		right := p.Mul(q).Add(p.Mul(r)).Eval(x)
+		return math.Abs(left-right) <= 1e-6*(1+math.Abs(left))
+	}
+	if err := quick.Check(distrib, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	commut := func(a, b []float64, x float64) bool {
+		p, q := gen(a), gen(b)
+		x = math.Mod(x, 4)
+		if math.IsNaN(x) {
+			x = 0
+		}
+		return math.Abs(p.Mul(q).Eval(x)-q.Mul(p).Eval(x)) <= 1e-6
+	}
+	if err := quick.Check(commut, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluation is a ring homomorphism.
+func TestQuickEvalHomomorphism(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 50)
+	}
+	f := func(a, b [4]float64, x float64) bool {
+		x = clamp(math.Mod(x, 3))
+		p := New(clamp(a[0]), clamp(a[1]), clamp(a[2]), clamp(a[3]))
+		q := New(clamp(b[0]), clamp(b[1]), clamp(b[2]), clamp(b[3]))
+		if math.IsNaN(p.Eval(x)) || math.IsNaN(q.Eval(x)) {
+			return true
+		}
+		sum := math.Abs(p.Add(q).Eval(x) - (p.Eval(x) + q.Eval(x)))
+		prod := math.Abs(p.Mul(q).Eval(x) - p.Eval(x)*q.Eval(x))
+		scale := math.Abs(p.Mul(q).Eval(x)-p.Eval(x)*q.Eval(x)) + sum
+		return sum < 1e-6 && prod < 1e-4*(1+math.Abs(p.Eval(x)*q.Eval(x))) && !math.IsNaN(scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxHelpers(t *testing.T) {
+	p := New(1e-12, 1e-13)
+	if !p.IsApproxZero(1e-11) {
+		t.Fatal("should be approximately zero")
+	}
+	if p.IsApproxZero(1e-13) {
+		t.Fatal("should not be approximately zero at tight tol")
+	}
+	q := New(1, 2)
+	if !q.ApproxEqual(New(1+1e-12, 2), 1e-11) {
+		t.Fatal("ApproxEqual failed")
+	}
+	if q.ApproxEqual(New(1.1, 2), 1e-3) {
+		t.Fatal("ApproxEqual too lax")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := New(1, 2)
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func BenchmarkEvalDeg3(b *testing.B) {
+	p := New(1, 2, 3, 4)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += p.Eval(1.5)
+	}
+	_ = sink
+}
+
+func BenchmarkAffineCompose(b *testing.B) {
+	p := New(1, 2, 3, 4)
+	for i := 0; i < b.N; i++ {
+		_ = p.AffineCompose(2, 3)
+	}
+}

@@ -1,0 +1,92 @@
+package ql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// Format renders a query back into the textual language, such that
+// Parse(schema, Format(q)) reproduces the query exactly. Only the canonical
+// aggregate shapes (COUNT, SUM, SUMSQ, SUMPROD) are expressible; arbitrary
+// multi-term polynomials return an error.
+func Format(q *query.Query) (string, error) {
+	if err := q.Validate(); err != nil {
+		return "", err
+	}
+	agg, err := formatAggregate(q)
+	if err != nil {
+		return "", err
+	}
+	var preds []string
+	for i := range q.Range.Lo {
+		lo, hi := q.Range.Lo[i], q.Range.Hi[i]
+		name := q.Schema.Names[i]
+		max := q.Schema.Sizes[i] - 1
+		switch {
+		case lo == 0 && hi == max:
+			// Full extent: no predicate.
+		case lo == hi:
+			preds = append(preds, fmt.Sprintf("%s = %d", name, lo))
+		case lo == 0:
+			preds = append(preds, fmt.Sprintf("%s <= %d", name, hi))
+		case hi == max:
+			preds = append(preds, fmt.Sprintf("%s >= %d", name, lo))
+		default:
+			preds = append(preds, fmt.Sprintf("%s BETWEEN %d AND %d", name, lo, hi))
+		}
+	}
+	if len(preds) == 0 {
+		return agg, nil
+	}
+	return agg + " WHERE " + strings.Join(preds, " AND "), nil
+}
+
+// FormatBatch renders a batch as ';'-separated statements.
+func FormatBatch(b query.Batch) (string, error) {
+	parts := make([]string, len(b))
+	for i, q := range b {
+		s, err := Format(q)
+		if err != nil {
+			return "", fmt.Errorf("ql: query %d: %w", i, err)
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ";\n"), nil
+}
+
+func formatAggregate(q *query.Query) (string, error) {
+	if len(q.Terms) != 1 {
+		return "", fmt.Errorf("ql: %d-term polynomial is not expressible", len(q.Terms))
+	}
+	t := q.Terms[0]
+	if t.Coeff != 1 {
+		return "", fmt.Errorf("ql: term coefficient %g is not expressible", t.Coeff)
+	}
+	var attrs []string
+	for i, p := range t.Powers {
+		switch p {
+		case 0:
+		case 1:
+			attrs = append(attrs, q.Schema.Names[i])
+		case 2:
+			attrs = append(attrs, q.Schema.Names[i], q.Schema.Names[i])
+		default:
+			return "", fmt.Errorf("ql: power %d on %s is not expressible", p, q.Schema.Names[i])
+		}
+	}
+	switch len(attrs) {
+	case 0:
+		return "COUNT()", nil
+	case 1:
+		return fmt.Sprintf("SUM(%s)", attrs[0]), nil
+	case 2:
+		if attrs[0] == attrs[1] {
+			return fmt.Sprintf("SUMSQ(%s)", attrs[0]), nil
+		}
+		return fmt.Sprintf("SUMPROD(%s, %s)", attrs[0], attrs[1]), nil
+	default:
+		return "", fmt.Errorf("ql: degree-%d product is not expressible", len(attrs))
+	}
+}

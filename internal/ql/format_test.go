@@ -1,0 +1,139 @@
+package ql
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+func TestFormatRoundTripsParsedStatements(t *testing.T) {
+	s := testSchema(t)
+	statements := []string{
+		"COUNT()",
+		"SUM(salary) WHERE age BETWEEN 25 AND 40",
+		"SUMSQ(age) WHERE dept = 3",
+		"SUMPROD(age, salary) WHERE salary >= 10 AND dept <= 5",
+		"COUNT() WHERE age = 0",
+		"SUM(age) WHERE age <= 9",
+	}
+	for _, src := range statements {
+		q, err := Parse(s, src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		text, err := Format(q)
+		if err != nil {
+			t.Fatalf("%s: format: %v", src, err)
+		}
+		back, err := Parse(s, text)
+		if err != nil {
+			t.Fatalf("%s -> %q: reparse: %v", src, text, err)
+		}
+		if back.Range.String() != q.Range.String() {
+			t.Fatalf("%s: range changed: %s vs %s", src, back.Range, q.Range)
+		}
+		if back.Degree() != q.Degree() {
+			t.Fatalf("%s: degree changed", src)
+		}
+	}
+}
+
+func TestFormatRandomRangesRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		lo := make([]int, 3)
+		hi := make([]int, 3)
+		for i, n := range s.Sizes {
+			lo[i] = rng.Intn(n)
+			hi[i] = lo[i] + rng.Intn(n-lo[i])
+		}
+		r, err := query.NewRange(s, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := query.Count(s, r)
+		text, err := Format(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(s, text)
+		if err != nil {
+			t.Fatalf("%q: %v", text, err)
+		}
+		if back.Range.String() != r.String() {
+			t.Fatalf("range %s formatted as %q reparsed to %s", r, text, back.Range)
+		}
+	}
+}
+
+func TestFormatBatch(t *testing.T) {
+	s := testSchema(t)
+	batch, err := ParseBatch(s, "SUM(salary) GROUP BY dept(4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := FormatBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(text, ";") != len(batch)-1 {
+		t.Fatalf("batch text %q has wrong statement count", text)
+	}
+	back, err := ParseBatch(s, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(batch) {
+		t.Fatalf("round trip changed batch size: %d vs %d", len(back), len(batch))
+	}
+}
+
+func TestFormatRejectsInexpressible(t *testing.T) {
+	s := testSchema(t)
+	r := query.FullDomain(s)
+	cases := []*query.Query{
+		{Schema: s, Range: r, Terms: []query.Term{
+			{Coeff: 2, Powers: []int{0, 0, 0}},
+		}},
+		{Schema: s, Range: r, Terms: []query.Term{
+			{Coeff: 1, Powers: []int{3, 0, 0}},
+		}},
+		{Schema: s, Range: r, Terms: []query.Term{
+			{Coeff: 1, Powers: []int{1, 1, 1}},
+		}},
+		{Schema: s, Range: r, Terms: []query.Term{
+			{Coeff: 1, Powers: []int{0, 0, 0}},
+			{Coeff: 1, Powers: []int{1, 0, 0}},
+		}},
+	}
+	for i, q := range cases {
+		if _, err := Format(q); err == nil {
+			t.Errorf("case %d: inexpressible query formatted", i)
+		}
+	}
+	bad := &query.Query{Schema: s, Range: r}
+	if _, err := Format(bad); err == nil {
+		t.Error("invalid query should fail")
+	}
+	if _, err := FormatBatch(query.Batch{bad}); err == nil {
+		t.Error("invalid batch should fail")
+	}
+}
+
+func TestFormatSumSquares(t *testing.T) {
+	s := testSchema(t)
+	q, err := query.SumSquares(s, query.FullDomain(s), "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "SUMSQ(age)" {
+		t.Fatalf("Format = %q", text)
+	}
+}

@@ -1,0 +1,38 @@
+package ql
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzParse exercises the lexer/parser on arbitrary input: it must never
+// panic, and any statement it accepts must produce a structurally valid
+// query.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"COUNT()",
+		"SUM(salary) WHERE age BETWEEN 25 AND 40",
+		"SUMPROD(age, salary) WHERE dept = 3",
+		"SUMSQ(age) WHERE age >= 1 AND age <= 62",
+		"COUNT() WHERE age < 10 AND salary > 5",
+		"count() where age=1",
+		"SUM(",
+		"COUNT() WHERE",
+		";;;",
+		"SUM(salary) WHERE age BETWEEN -5 AND 9999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := dataset.MustSchema([]string{"age", "salary", "dept"}, []int{64, 64, 8})
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(schema, src)
+		if err != nil {
+			return
+		}
+		if vErr := q.Validate(); vErr != nil {
+			t.Fatalf("accepted %q but produced invalid query: %v", src, vErr)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package server exposes a persisted wavelet database over HTTP: clients
+// POST textual query batches with a retrieval budget and receive progressive
+// (or exact) results with the paper's error guarantees attached. This is the
+// deployment shape of the system — precompute once with wvload, serve many
+// with wvqd.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro"
+)
+
+// Handler serves queries against one database. Requests are serialized with
+// a mutex: the engine itself is single-threaded per run, and the underlying
+// store counters are not concurrent. (Throughput-oriented deployments would
+// shard databases per worker.)
+type Handler struct {
+	mu sync.Mutex
+	db *repro.Database
+}
+
+// New wraps a database in an HTTP handler.
+func New(db *repro.Database) *Handler { return &Handler{db: db} }
+
+// QueryRequest is the POST /query body.
+type QueryRequest struct {
+	// Statements is a ';'-separated batch in the textual query language.
+	Statements string `json:"statements"`
+	// Budget limits retrievals; 0 or ≥ the master list means exact.
+	Budget int `json:"budget,omitempty"`
+}
+
+// QueryResult is one query's answer.
+type QueryResult struct {
+	Query    string  `json:"query"`
+	Estimate float64 `json:"estimate"`
+	// Bound is the per-query worst-case error bound (present only for
+	// progressive responses).
+	Bound *float64 `json:"bound,omitempty"`
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Exact     bool          `json:"exact"`
+	Retrieved int           `json:"retrieved"`
+	Distinct  int           `json:"distinct"`
+	Results   []QueryResult `json:"results"`
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	Tuples       int64    `json:"tuples"`
+	Coefficients int      `json:"coefficients"`
+	Filter       string   `json:"filter"`
+	Attributes   []string `json:"attributes"`
+	Sizes        []int    `json:"sizes"`
+	// Windows maps attribute bins back to raw units (from ingestion);
+	// omitted when unknown.
+	Windows    [][2]float64 `json:"windows,omitempty"`
+	Retrievals int64        `json:"retrievals"`
+}
+
+// ServeHTTP implements http.Handler, routing /query, /stats and /healthz.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		h.stats(w)
+	case r.URL.Path == "/query" && r.Method == http.MethodPost:
+		h.query(w, r)
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (h *Handler) stats(w http.ResponseWriter) {
+	h.mu.Lock()
+	resp := StatsResponse{
+		Tuples:       h.db.TupleCount(),
+		Coefficients: h.db.NonzeroCoefficients(),
+		Filter:       h.db.Filter().Name,
+		Attributes:   h.db.Schema().Names,
+		Sizes:        h.db.Schema().Sizes,
+		Windows:      h.db.Windows(),
+		Retrievals:   h.db.Retrievals(),
+	}
+	h.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Budget < 0 {
+		http.Error(w, "bad request: negative budget", http.StatusBadRequest)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	batch, err := repro.ParseBatch(h.db.Schema(), req.Statements)
+	if err != nil {
+		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	plan, err := h.db.Plan(batch)
+	if err != nil {
+		http.Error(w, "planning failed: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	run := h.db.NewRun(plan, repro.SSE())
+	exact := req.Budget <= 0 || req.Budget >= plan.DistinctCoefficients()
+	if exact {
+		run.RunToCompletion()
+	} else {
+		run.StepN(req.Budget)
+	}
+	resp := QueryResponse{
+		Exact:     run.Done(),
+		Retrieved: run.Retrieved(),
+		Distinct:  plan.DistinctCoefficients(),
+		Results:   make([]QueryResult, len(batch)),
+	}
+	var mass float64
+	if !run.Done() {
+		mass = h.db.CoefficientMass()
+	}
+	for i, q := range batch {
+		res := QueryResult{Query: q.Label, Estimate: run.Estimates()[i]}
+		if !run.Done() {
+			b := run.QueryErrorBound(i, mass)
+			res.Bound = &b
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,258 @@
+// Package stats derives range-level statistics — AVERAGE, VARIANCE,
+// COVARIANCE — from batches of polynomial range-sums, following Section 3 of
+// the paper (and the multivariate OLAP framework of Shao it cites): every
+// statistic is an algebraic combination of the vector queries COUNT, SUM,
+// SUM-OF-SQUARES and SUM-OF-PRODUCTS, so a single Batch-Biggest-B run over
+// the moment batch yields progressively refining statistics for every range.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/query"
+)
+
+// MomentSet describes the raw-moment query batch for a set of ranges and
+// attributes: per range, one COUNT, one SUM and one SUM-OF-SQUARES per
+// attribute, and (optionally) one SUM-OF-PRODUCTS per attribute pair.
+type MomentSet struct {
+	Schema *dataset.Schema
+	Ranges []query.Range
+	Attrs  []string
+	// WithCovariance adds the cross-product queries needed by Covariance.
+	WithCovariance bool
+	// Batch holds the generated queries, laid out per range as
+	// [count, sum(a_0),…, sumsq(a_0),…, cross(a_i,a_j) for i<j …].
+	Batch query.Batch
+
+	perRange int
+}
+
+// NewMomentSet builds the moment batch. With covariance enabled the batch
+// degree is 2, requiring a Db6 or longer filter.
+func NewMomentSet(schema *dataset.Schema, ranges []query.Range, attrs []string, withCovariance bool) (*MomentSet, error) {
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("stats: no ranges")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("stats: no attributes")
+	}
+	m := &MomentSet{
+		Schema:         schema,
+		Ranges:         append([]query.Range(nil), ranges...),
+		Attrs:          append([]string(nil), attrs...),
+		WithCovariance: withCovariance,
+	}
+	k := len(attrs)
+	m.perRange = 1 + 2*k
+	if withCovariance {
+		m.perRange += k * (k - 1) / 2
+	}
+	m.Batch = make(query.Batch, 0, m.perRange*len(ranges))
+	for _, r := range ranges {
+		m.Batch = append(m.Batch, query.Count(schema, r))
+		for _, a := range attrs {
+			q, err := query.Sum(schema, r, a)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch = append(m.Batch, q)
+		}
+		for _, a := range attrs {
+			q, err := query.SumSquares(schema, r, a)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch = append(m.Batch, q)
+		}
+		if withCovariance {
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					q, err := query.SumProduct(schema, r, attrs[i], attrs[j])
+					if err != nil {
+						return nil, err
+					}
+					m.Batch = append(m.Batch, q)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// PerRange returns the number of queries generated per range.
+func (m *MomentSet) PerRange() int { return m.perRange }
+
+func (m *MomentSet) base(rangeIdx int) (int, error) {
+	if rangeIdx < 0 || rangeIdx >= len(m.Ranges) {
+		return 0, fmt.Errorf("stats: range index %d out of %d", rangeIdx, len(m.Ranges))
+	}
+	return rangeIdx * m.perRange, nil
+}
+
+func (m *MomentSet) attrPos(attr string) (int, error) {
+	for i, a := range m.Attrs {
+		if a == attr {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: attribute %q not in moment set", attr)
+}
+
+// Count extracts the range count from a result vector for m.Batch.
+func (m *MomentSet) Count(results []float64, rangeIdx int) (float64, error) {
+	b, err := m.base(rangeIdx)
+	if err != nil {
+		return 0, err
+	}
+	return results[b], nil
+}
+
+// Sum extracts Σ x_attr over the range.
+func (m *MomentSet) Sum(results []float64, rangeIdx int, attr string) (float64, error) {
+	b, err := m.base(rangeIdx)
+	if err != nil {
+		return 0, err
+	}
+	i, err := m.attrPos(attr)
+	if err != nil {
+		return 0, err
+	}
+	return results[b+1+i], nil
+}
+
+// SumSquares extracts Σ x_attr² over the range.
+func (m *MomentSet) SumSquares(results []float64, rangeIdx int, attr string) (float64, error) {
+	b, err := m.base(rangeIdx)
+	if err != nil {
+		return 0, err
+	}
+	i, err := m.attrPos(attr)
+	if err != nil {
+		return 0, err
+	}
+	return results[b+1+len(m.Attrs)+i], nil
+}
+
+// SumProduct extracts Σ x_i·x_j over the range (requires WithCovariance).
+func (m *MomentSet) SumProduct(results []float64, rangeIdx int, attrI, attrJ string) (float64, error) {
+	if !m.WithCovariance {
+		return 0, fmt.Errorf("stats: moment set built without covariance queries")
+	}
+	b, err := m.base(rangeIdx)
+	if err != nil {
+		return 0, err
+	}
+	i, err := m.attrPos(attrI)
+	if err != nil {
+		return 0, err
+	}
+	j, err := m.attrPos(attrJ)
+	if err != nil {
+		return 0, err
+	}
+	if i == j {
+		return m.SumSquares(results, rangeIdx, attrI)
+	}
+	if i > j {
+		i, j = j, i
+	}
+	k := len(m.Attrs)
+	// Position of pair (i,j), i<j, in the row-major strict upper triangle.
+	pair := i*(2*k-i-1)/2 + (j - i - 1)
+	return results[b+1+2*k+pair], nil
+}
+
+// Average returns the range mean of attr; ok is false when the range count
+// is too small (below countFloor) for the ratio to be meaningful — the
+// caveat of any ratio-of-estimates statistic during a progressive run.
+func (m *MomentSet) Average(results []float64, rangeIdx int, attr string, countFloor float64) (avg float64, ok bool) {
+	c, err := m.Count(results, rangeIdx)
+	if err != nil {
+		return 0, false
+	}
+	s, err := m.Sum(results, rangeIdx, attr)
+	if err != nil {
+		return 0, false
+	}
+	if c < countFloor || c <= 0 {
+		return 0, false
+	}
+	return s / c, true
+}
+
+// Variance returns the population variance of attr over the range.
+func (m *MomentSet) Variance(results []float64, rangeIdx int, attr string, countFloor float64) (v float64, ok bool) {
+	c, err := m.Count(results, rangeIdx)
+	if err != nil {
+		return 0, false
+	}
+	if c < countFloor || c <= 0 {
+		return 0, false
+	}
+	s, err := m.Sum(results, rangeIdx, attr)
+	if err != nil {
+		return 0, false
+	}
+	sq, err := m.SumSquares(results, rangeIdx, attr)
+	if err != nil {
+		return 0, false
+	}
+	mean := s / c
+	v = sq/c - mean*mean
+	// Float cancellation (and progressive estimates) can dip slightly below
+	// zero; clamp noise proportional to the moment scale.
+	if v < 0 && v > -1e-6*(1+sq/c) {
+		v = 0
+	}
+	return v, v >= 0 && !math.IsNaN(v)
+}
+
+// Covariance returns the population covariance of the attribute pair over
+// the range.
+func (m *MomentSet) Covariance(results []float64, rangeIdx int, attrI, attrJ string, countFloor float64) (cov float64, ok bool) {
+	c, err := m.Count(results, rangeIdx)
+	if err != nil {
+		return 0, false
+	}
+	if c < countFloor || c <= 0 {
+		return 0, false
+	}
+	si, err := m.Sum(results, rangeIdx, attrI)
+	if err != nil {
+		return 0, false
+	}
+	sj, err := m.Sum(results, rangeIdx, attrJ)
+	if err != nil {
+		return 0, false
+	}
+	sij, err := m.SumProduct(results, rangeIdx, attrI, attrJ)
+	if err != nil {
+		return 0, false
+	}
+	cov = sij/c - (si/c)*(sj/c)
+	return cov, !math.IsNaN(cov)
+}
+
+// Correlation returns the Pearson correlation of the attribute pair over the
+// range, derived from the covariance and variances.
+func (m *MomentSet) Correlation(results []float64, rangeIdx int, attrI, attrJ string, countFloor float64) (rho float64, ok bool) {
+	cov, ok := m.Covariance(results, rangeIdx, attrI, attrJ, countFloor)
+	if !ok {
+		return 0, false
+	}
+	vi, ok := m.Variance(results, rangeIdx, attrI, countFloor)
+	if !ok {
+		return 0, false
+	}
+	vj, ok := m.Variance(results, rangeIdx, attrJ, countFloor)
+	if !ok {
+		return 0, false
+	}
+	if vi <= 0 || vj <= 0 {
+		return 0, false
+	}
+	return cov / math.Sqrt(vi*vj), true
+}

@@ -1,0 +1,107 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+)
+
+// CachedStore wraps a Store with an LRU coefficient cache that persists
+// across plans and runs. In the drill-down sessions of the paper's
+// introduction, successive batches overlap heavily (the user refines regions
+// already summarized), so coefficients retrieved for one batch answer the
+// next for free. CachedStore makes that explicit: cache hits cost nothing,
+// and Retrievals reports only the misses that reached the wrapped store.
+//
+// A capacity of 0 disables caching; Unbounded keeps everything.
+type CachedStore struct {
+	inner    Store
+	capacity int
+	lru      *list.List // front = most recently used
+	index    map[int]*list.Element
+	hits     int64
+}
+
+type cachedCell struct {
+	key int
+	val float64
+}
+
+// Unbounded is the capacity for a cache that never evicts.
+const Unbounded = math.MaxInt
+
+// NewCachedStore wraps inner with a cache of the given capacity (in
+// coefficients).
+func NewCachedStore(inner Store, capacity int) (*CachedStore, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("storage: negative cache capacity %d", capacity)
+	}
+	return &CachedStore{
+		inner:    inner,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[int]*list.Element),
+	}, nil
+}
+
+// Get implements Store. A hit is served from the cache without touching the
+// wrapped store; a miss fetches, counts and caches.
+func (s *CachedStore) Get(key int) float64 {
+	if el, ok := s.index[key]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		return el.Value.(cachedCell).val
+	}
+	v := s.inner.Get(key)
+	if s.capacity == 0 {
+		return v
+	}
+	if s.lru.Len() >= s.capacity {
+		oldest := s.lru.Back()
+		delete(s.index, oldest.Value.(cachedCell).key)
+		s.lru.Remove(oldest)
+	}
+	s.index[key] = s.lru.PushFront(cachedCell{key: key, val: v})
+	return v
+}
+
+// Retrievals implements Store: only misses reach the wrapped store, so this
+// is the session's true I/O count.
+func (s *CachedStore) Retrievals() int64 { return s.inner.Retrievals() }
+
+// Hits returns the number of Get calls served from the cache.
+func (s *CachedStore) Hits() int64 { return s.hits }
+
+// Cached returns the number of coefficients currently cached.
+func (s *CachedStore) Cached() int { return s.lru.Len() }
+
+// ResetStats implements Store, zeroing counters but keeping cached contents
+// (use ClearCache to drop them).
+func (s *CachedStore) ResetStats() {
+	s.inner.ResetStats()
+	s.hits = 0
+}
+
+// ClearCache drops every cached coefficient.
+func (s *CachedStore) ClearCache() {
+	s.lru.Init()
+	s.index = make(map[int]*list.Element)
+}
+
+// NonzeroCount implements Store.
+func (s *CachedStore) NonzeroCount() int { return s.inner.NonzeroCount() }
+
+// ForEachNonzero implements Enumerable when the wrapped store does; it
+// panics otherwise.
+func (s *CachedStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	e, ok := s.inner.(Enumerable)
+	if !ok {
+		panic("storage: wrapped store is not enumerable")
+	}
+	e.ForEachNonzero(fn)
+}
+
+var (
+	_ Store      = (*CachedStore)(nil)
+	_ Enumerable = (*CachedStore)(nil)
+)

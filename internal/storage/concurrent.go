@@ -1,0 +1,60 @@
+package storage
+
+import "sync"
+
+// ConcurrentStore wraps a Store with a mutex so multiple progressive runs
+// can execute in parallel goroutines against one materialized view. The
+// paper's engine is sequential per run; this wrapper serializes the
+// individual Get calls while letting runs interleave, which is the natural
+// deployment shape for a read-mostly query service.
+type ConcurrentStore struct {
+	mu    sync.Mutex
+	inner Store
+}
+
+// NewConcurrentStore wraps inner.
+func NewConcurrentStore(inner Store) *ConcurrentStore {
+	return &ConcurrentStore{inner: inner}
+}
+
+// Get implements Store.
+func (s *ConcurrentStore) Get(key int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Get(key)
+}
+
+// Retrievals implements Store.
+func (s *ConcurrentStore) Retrievals() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.Retrievals()
+}
+
+// ResetStats implements Store.
+func (s *ConcurrentStore) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.ResetStats()
+}
+
+// NonzeroCount implements Store.
+func (s *ConcurrentStore) NonzeroCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inner.NonzeroCount()
+}
+
+// ForEachNonzero implements Enumerable when the wrapped store does; the
+// whole enumeration holds the lock.
+func (s *ConcurrentStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.inner.(Enumerable)
+	if !ok {
+		panic("storage: wrapped store is not enumerable")
+	}
+	e.ForEachNonzero(fn)
+}
+
+var _ Store = (*ConcurrentStore)(nil)

@@ -1,0 +1,60 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentStoreParallelGets(t *testing.T) {
+	cells := make([]float64, 1024)
+	for i := range cells {
+		cells[i] = float64(i)
+	}
+	cs := NewConcurrentStore(NewArrayStore(cells))
+	var wg sync.WaitGroup
+	const workers = 8
+	const reads = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				k := (w*reads + i) % 1024
+				if got := cs.Get(k); got != float64(k) {
+					t.Errorf("Get(%d) = %g", k, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cs.Retrievals() != workers*reads {
+		t.Fatalf("Retrievals = %d, want %d", cs.Retrievals(), workers*reads)
+	}
+	cs.ResetStats()
+	if cs.Retrievals() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+	if cs.NonzeroCount() != 1023 { // cell 0 holds value 0
+		t.Fatalf("NonzeroCount = %d", cs.NonzeroCount())
+	}
+}
+
+func TestConcurrentStoreEnumeration(t *testing.T) {
+	cs := NewConcurrentStore(NewArrayStore([]float64{0, 2, 0, 4}))
+	var keys []int
+	cs.ForEachNonzero(func(k int, v float64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	bad := NewConcurrentStore(nonEnumStore{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bad.ForEachNonzero(func(int, float64) bool { return true })
+}

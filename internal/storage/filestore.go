@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// FileStore keeps the dense coefficient array on disk and serves every Get
+// with a positioned read — a literal realization of the paper's cost model,
+// where each coefficient retrieval is one storage access. The on-disk layout
+// is a fixed header followed by n little-endian float64 cells.
+//
+// FileStore implements Store, Updatable and Enumerable. Like the in-memory
+// stores it is not safe for concurrent use.
+type FileStore struct {
+	f          *os.File
+	n          int
+	retrievals int64
+}
+
+const (
+	fileStoreMagic      = "WVFS"
+	fileStoreVersion    = 1
+	fileStoreHeaderSize = 4 + 2 + 8 // magic + version + cell count
+)
+
+// CreateFileStore writes the dense coefficient array to path and opens it as
+// a store. An existing file at path is truncated.
+func CreateFileStore(path string, cells []float64) (*FileStore, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(fileStoreMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], fileStoreVersion)
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(len(cells)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	var buf [8]byte
+	for _, v := range cells {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, n: len(cells)}, nil
+}
+
+// OpenFileStore opens an existing coefficient file.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [fileStoreHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading file store header: %w", err)
+	}
+	if string(hdr[:4]) != fileStoreMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is not a coefficient file (bad magic)", path)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileStoreVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: unsupported file store version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(hdr[6:14])
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(fileStoreHeaderSize) + int64(n)*8; st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("storage: file size %d does not match header (want %d)", st.Size(), want)
+	}
+	return &FileStore{f: f, n: int(n)}, nil
+}
+
+// Get implements Store with one positioned read.
+func (s *FileStore) Get(key int) float64 {
+	s.retrievals++
+	if key < 0 || key >= s.n {
+		panic(fmt.Sprintf("storage: key %d out of range [0,%d)", key, s.n))
+	}
+	var buf [8]byte
+	if _, err := s.f.ReadAt(buf[:], s.offset(key)); err != nil {
+		panic(fmt.Sprintf("storage: reading coefficient %d: %v", key, err))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// Add implements Updatable with a read-modify-write. The file must have
+// been opened writable (CreateFileStore does; OpenFileStore opens read-only
+// and Add panics).
+func (s *FileStore) Add(key int, delta float64) {
+	if key < 0 || key >= s.n {
+		panic(fmt.Sprintf("storage: key %d out of range [0,%d)", key, s.n))
+	}
+	var buf [8]byte
+	off := s.offset(key)
+	if _, err := s.f.ReadAt(buf[:], off); err != nil {
+		panic(fmt.Sprintf("storage: reading coefficient %d: %v", key, err))
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:])) + delta
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	if _, err := s.f.WriteAt(buf[:], off); err != nil {
+		panic(fmt.Sprintf("storage: writing coefficient %d: %v", key, err))
+	}
+}
+
+func (s *FileStore) offset(key int) int64 {
+	return int64(fileStoreHeaderSize) + int64(key)*8
+}
+
+// Retrievals implements Store.
+func (s *FileStore) Retrievals() int64 { return s.retrievals }
+
+// ResetStats implements Store.
+func (s *FileStore) ResetStats() { s.retrievals = 0 }
+
+// NonzeroCount implements Store with a sequential scan.
+func (s *FileStore) NonzeroCount() int {
+	n := 0
+	s.ForEachNonzero(func(int, float64) bool { n++; return true })
+	return n
+}
+
+// Size returns the total number of cells.
+func (s *FileStore) Size() int { return s.n }
+
+// ForEachNonzero implements Enumerable with a buffered sequential scan.
+func (s *FileStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	r := bufio.NewReaderSize(&readerAt{f: s.f, off: int64(fileStoreHeaderSize)}, 1<<20)
+	var buf [8]byte
+	for k := 0; k < s.n; k++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			panic(fmt.Sprintf("storage: scanning coefficient %d: %v", k, err))
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		if v != 0 && !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Close releases the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// readerAt adapts positioned reads to the io.Reader bufio needs, without
+// disturbing other users of the shared file offset.
+type readerAt struct {
+	f   *os.File
+	off int64
+}
+
+func (r *readerAt) Read(p []byte) (int, error) {
+	n, err := r.f.ReadAt(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+var (
+	_ Updatable  = (*FileStore)(nil)
+	_ Enumerable = (*FileStore)(nil)
+)

@@ -1,0 +1,160 @@
+package wavelet
+
+import "fmt"
+
+// AnalyzeLevel applies one periodic analysis step to the signal s (whose
+// length must be even), writing the scaling coefficients to a and the detail
+// coefficients to d, each of length len(s)/2:
+//
+//	a[k] = Σ_n H[n] · s[(2k+n) mod M]
+//	d[k] = Σ_n G[n] · s[(2k+n) mod M]
+func (f *Filter) AnalyzeLevel(s, a, d []float64) {
+	m := len(s)
+	if m%2 != 0 {
+		panic(fmt.Sprintf("wavelet: AnalyzeLevel on odd length %d", m))
+	}
+	if len(a) != m/2 || len(d) != m/2 {
+		panic("wavelet: AnalyzeLevel output length mismatch")
+	}
+	L := f.Len()
+	for k := 0; k < m/2; k++ {
+		var av, dv float64
+		base := 2 * k
+		if base+L <= m {
+			// Fast path: no wraparound.
+			for n := 0; n < L; n++ {
+				v := s[base+n]
+				av += f.H[n] * v
+				dv += f.G[n] * v
+			}
+		} else {
+			for n := 0; n < L; n++ {
+				v := s[(base+n)%m]
+				av += f.H[n] * v
+				dv += f.G[n] * v
+			}
+		}
+		a[k] = av
+		d[k] = dv
+	}
+}
+
+// SynthesizeLevel inverts AnalyzeLevel: given scaling coefficients a and
+// detail coefficients d of equal length, it reconstructs the signal s of
+// length 2·len(a). For an orthonormal filter synthesis is the transpose of
+// analysis:
+//
+//	s[x] = Σ_k ( H[x-2k mod M]·a[k] + G[x-2k mod M]·d[k] )
+func (f *Filter) SynthesizeLevel(a, d, s []float64) {
+	half := len(a)
+	if len(d) != half {
+		panic("wavelet: SynthesizeLevel band length mismatch")
+	}
+	m := 2 * half
+	if len(s) != m {
+		panic("wavelet: SynthesizeLevel output length mismatch")
+	}
+	for x := range s {
+		s[x] = 0
+	}
+	L := f.Len()
+	for k := 0; k < half; k++ {
+		base := 2 * k
+		if base+L <= m {
+			for n := 0; n < L; n++ {
+				s[base+n] += f.H[n]*a[k] + f.G[n]*d[k]
+			}
+		} else {
+			for n := 0; n < L; n++ {
+				s[(base+n)%m] += f.H[n]*a[k] + f.G[n]*d[k]
+			}
+		}
+	}
+}
+
+// Forward computes the full multi-level periodic DWT of s in place, leaving
+// the coefficients in the canonical pyramid layout. len(s) must be a power
+// of two.
+func (f *Filter) Forward(s []float64) {
+	n := len(s)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("wavelet: Forward on non-power-of-two length %d", n))
+	}
+	if n == 1 {
+		return
+	}
+	buf := make([]float64, n)
+	f.forwardWithBuf(s, buf)
+}
+
+// forwardWithBuf is Forward with a caller-provided scratch buffer of
+// len(s) capacity, for allocation-free inner loops.
+func (f *Filter) forwardWithBuf(s, buf []float64) {
+	for m := len(s); m >= 2; m /= 2 {
+		a, d := buf[:m/2], buf[m/2:m]
+		f.AnalyzeLevel(s[:m], a, d)
+		copy(s[:m], buf[:m])
+	}
+}
+
+// Inverse computes the full multi-level periodic inverse DWT of the pyramid
+// layout in s, in place.
+func (f *Filter) Inverse(s []float64) {
+	n := len(s)
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("wavelet: Inverse on non-power-of-two length %d", n))
+	}
+	if n == 1 {
+		return
+	}
+	buf := make([]float64, n)
+	for m := 2; m <= n; m *= 2 {
+		f.SynthesizeLevel(s[:m/2], s[m/2:m], buf[:m])
+		copy(s[:m], buf[:m])
+	}
+}
+
+// ForwardCopy returns the DWT of s without modifying it.
+func (f *Filter) ForwardCopy(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	f.Forward(out)
+	return out
+}
+
+// InverseCopy returns the inverse DWT of s without modifying it.
+func (f *Filter) InverseCopy(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	f.Inverse(out)
+	return out
+}
+
+// DetailBand returns the half-open position interval [lo, hi) that the
+// level-j detail band occupies in the canonical layout of a length-n
+// transform. Level 1 is the finest band. The coarsest scaling coefficient
+// lives at position 0 and is not part of any detail band.
+func DetailBand(n, level int) (lo, hi int) {
+	j := Log2(n)
+	if level < 1 || level > j {
+		panic(fmt.Sprintf("wavelet: level %d out of range for n=%d", level, n))
+	}
+	return n >> level, n >> (level - 1)
+}
+
+// PositionLevel returns the detail level of the given layout position for a
+// length-n transform, with 0 denoting the coarsest scaling coefficient at
+// position 0.
+func PositionLevel(n, pos int) int {
+	if pos < 0 || pos >= n {
+		panic(fmt.Sprintf("wavelet: position %d out of range for n=%d", pos, n))
+	}
+	if pos == 0 {
+		return 0
+	}
+	floorLog := 0
+	for p := pos; p > 1; p /= 2 {
+		floorLog++
+	}
+	return Log2(n) - floorLog
+}

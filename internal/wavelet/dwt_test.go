@@ -1,0 +1,226 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSignal(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestRoundTripAllFiltersAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range Filters {
+		for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+			s := randSignal(rng, n)
+			orig := append([]float64(nil), s...)
+			f.Forward(s)
+			f.Inverse(s)
+			if d := maxAbsDiff(s, orig); d > 1e-9 {
+				t.Errorf("%s n=%d: roundtrip error %g", f.Name, n, d)
+			}
+		}
+	}
+}
+
+func TestParsevalInnerProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, f := range Filters {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 << (2 + rng.Intn(7))
+			a := randSignal(rng, n)
+			b := randSignal(rng, n)
+			want := dot(a, b)
+			got := dot(f.ForwardCopy(a), f.ForwardCopy(b))
+			if math.Abs(want-got) > 1e-8*(1+math.Abs(want)) {
+				t.Errorf("%s n=%d: ⟨a,b⟩=%g but ⟨â,b̂⟩=%g", f.Name, n, want, got)
+			}
+		}
+	}
+}
+
+func TestHaarKnownTransform(t *testing.T) {
+	// Haar of [1,1,1,1] is all energy in the scaling coefficient: [2,0,0,0].
+	s := []float64{1, 1, 1, 1}
+	Haar.Forward(s)
+	want := []float64{2, 0, 0, 0}
+	if d := maxAbsDiff(s, want); d > 1e-12 {
+		t.Fatalf("Haar([1,1,1,1]) = %v", s)
+	}
+	// Haar of [1,-1,0,0]: d_1[0] = (1-(-1))/√2 = √2 at position 2.
+	s = []float64{1, -1, 0, 0}
+	Haar.Forward(s)
+	if math.Abs(s[2]-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Haar([1,-1,0,0]) = %v", s)
+	}
+}
+
+func TestConstantSignalOnlyScalingCoefficient(t *testing.T) {
+	// Orthonormal filters with Σh=√2 map constants to a single coarse
+	// coefficient (periodic boundary ⇒ no edge effects for constants).
+	for _, f := range Filters {
+		n := 64
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = 3.5
+		}
+		f.Forward(s)
+		if math.Abs(s[0]-3.5*math.Sqrt(float64(n))) > 1e-9 {
+			t.Errorf("%s: scaling coefficient %g", f.Name, s[0])
+		}
+		for i := 1; i < n; i++ {
+			if math.Abs(s[i]) > 1e-9 {
+				t.Errorf("%s: detail %d = %g, want 0", f.Name, i, s[i])
+			}
+		}
+	}
+}
+
+func TestAnalyzeSynthesizeLevelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range Filters {
+		for _, n := range []int{2, 4, 16, 128} {
+			s := randSignal(rng, n)
+			a := make([]float64, n/2)
+			d := make([]float64, n/2)
+			f.AnalyzeLevel(s, a, d)
+			back := make([]float64, n)
+			f.SynthesizeLevel(a, d, back)
+			if diff := maxAbsDiff(s, back); diff > 1e-10 {
+				t.Errorf("%s n=%d: level roundtrip error %g", f.Name, n, diff)
+			}
+		}
+	}
+}
+
+func TestAnalyzeLevelPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Haar.AnalyzeLevel(make([]float64, 3), make([]float64, 1), make([]float64, 1)) },
+		func() { Haar.AnalyzeLevel(make([]float64, 4), make([]float64, 1), make([]float64, 2)) },
+		func() { Haar.SynthesizeLevel(make([]float64, 2), make([]float64, 1), make([]float64, 4)) },
+		func() { Haar.SynthesizeLevel(make([]float64, 2), make([]float64, 2), make([]float64, 3)) },
+		func() { Haar.Forward(make([]float64, 3)) },
+		func() { Haar.Inverse(make([]float64, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDetailBand(t *testing.T) {
+	n := 16
+	cases := []struct{ level, lo, hi int }{
+		{1, 8, 16}, {2, 4, 8}, {3, 2, 4}, {4, 1, 2},
+	}
+	for _, c := range cases {
+		lo, hi := DetailBand(n, c.level)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("DetailBand(16,%d) = [%d,%d), want [%d,%d)", c.level, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestPositionLevel(t *testing.T) {
+	n := 16
+	want := map[int]int{0: 0, 1: 4, 2: 3, 3: 3, 4: 2, 7: 2, 8: 1, 15: 1}
+	for pos, lvl := range want {
+		if got := PositionLevel(n, pos); got != lvl {
+			t.Errorf("PositionLevel(16,%d) = %d, want %d", pos, got, lvl)
+		}
+	}
+	// Consistency with DetailBand.
+	for level := 1; level <= 4; level++ {
+		lo, hi := DetailBand(n, level)
+		for pos := lo; pos < hi; pos++ {
+			if got := PositionLevel(n, pos); got != level {
+				t.Errorf("pos %d: level %d, want %d", pos, got, level)
+			}
+		}
+	}
+}
+
+func TestQuickParsevalNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		s := randSignal(rng, n)
+		want := dot(s, s)
+		fl := Filters[rng.Intn(len(Filters))]
+		tr := fl.ForwardCopy(s)
+		got := dot(tr, tr)
+		return math.Abs(want-got) < 1e-8*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	f := func(seed int64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		alpha = math.Mod(alpha, 100)
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(6))
+		a := randSignal(rng, n)
+		b := randSignal(rng, n)
+		fl := Filters[rng.Intn(len(Filters))]
+		combo := make([]float64, n)
+		for i := range combo {
+			combo[i] = a[i] + alpha*b[i]
+		}
+		ta, tb, tc := fl.ForwardCopy(a), fl.ForwardCopy(b), fl.ForwardCopy(combo)
+		for i := range tc {
+			if math.Abs(tc[i]-(ta[i]+alpha*tb[i])) > 1e-8*(1+math.Abs(tc[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkForward1D(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	s := randSignal(rng, 4096)
+	work := make([]float64, len(s))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, s)
+		Db4.Forward(work)
+	}
+}

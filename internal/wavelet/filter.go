@@ -1,0 +1,191 @@
+// Package wavelet implements the orthonormal wavelet machinery the paper
+// builds on: Daubechies filter banks, periodic discrete wavelet transforms in
+// one and many dimensions, and the lazy sparse transform of polynomial
+// range-sum query vectors.
+//
+// Conventions. All signal lengths are powers of two. The full 1-D transform
+// of a length-N signal applies log2(N) analysis levels and stores the result
+// in the canonical pyramid layout
+//
+//	[ a_J | d_J | d_{J-1} | … | d_1 ]
+//
+// where d_1 (the finest detail band, N/2 values) occupies positions
+// [N/2, N), d_2 occupies [N/4, N/2), and so on down to the single coarsest
+// scaling coefficient a_J at position 0. The transform is orthonormal, so it
+// preserves inner products (Parseval): for any two signals f and g,
+// ⟨f, g⟩ = ⟨f̂, ĝ⟩. That identity is what lets the engine evaluate a
+// range-sum as a sparse dot product in the transform domain.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is an orthonormal two-channel filter bank. H is the scaling
+// (low-pass) filter; the wavelet (high-pass) filter G is derived from H by
+// the quadrature-mirror relation G[n] = (-1)^n · H[L-1-n].
+type Filter struct {
+	// Name identifies the filter, following the paper's tap-count naming
+	// ("Db4" is the 4-tap Daubechies filter with 2 vanishing moments).
+	Name string
+	// H holds the scaling filter taps. len(H) is even and Σ H = √2.
+	H []float64
+	// G holds the derived wavelet filter taps, same length as H.
+	G []float64
+}
+
+// Len returns the filter length (number of taps).
+func (f *Filter) Len() int { return len(f.H) }
+
+// VanishingMoments returns the number of vanishing moments of the wavelet:
+// the wavelet filter annihilates polynomial sequences of degree less than
+// this. Daubechies filters of length L have L/2 vanishing moments.
+func (f *Filter) VanishingMoments() int { return len(f.H) / 2 }
+
+// SupportsDegree reports whether polynomial range-sums of the given maximum
+// per-variable degree have sparse (poly-log) transforms under f, i.e. whether
+// f has at least degree+1 vanishing moments. The paper's requirement is a
+// filter of length at least 2δ+2 for degree δ.
+func (f *Filter) SupportsDegree(degree int) bool {
+	return f.VanishingMoments() >= degree+1
+}
+
+func (f *Filter) String() string { return f.Name }
+
+// newFilter derives G from H and validates basic invariants.
+func newFilter(name string, h []float64) *Filter {
+	if len(h)%2 != 0 || len(h) == 0 {
+		panic(fmt.Sprintf("wavelet: filter %s has odd length %d", name, len(h)))
+	}
+	g := make([]float64, len(h))
+	for n := range h {
+		g[n] = h[len(h)-1-n]
+		if n%2 == 1 {
+			g[n] = -g[n]
+		}
+	}
+	return &Filter{Name: name, H: append([]float64(nil), h...), G: g}
+}
+
+// Daubechies scaling filters in natural (h0-first) order. Values are the
+// standard published coefficients; the test suite verifies orthonormality
+// (Σh=√2, Σ h[n]h[n+2m]=δ_m) and the vanishing-moment conditions to fifteen
+// digits, so a transcription error cannot survive.
+var (
+	// Haar is the 2-tap Daubechies filter (1 vanishing moment). Exact for
+	// COUNT queries (degree-0 polynomials).
+	Haar = newFilter("Haar", []float64{
+		0.7071067811865476, 0.7071067811865476,
+	})
+
+	// Db4 is the 4-tap Daubechies filter (2 vanishing moments), the filter
+	// used throughout the paper's evaluation; handles degree ≤ 1.
+	Db4 = newFilter("Db4", []float64{
+		0.48296291314469025, 0.8365163037378079,
+		0.22414386804185735, -0.12940952255092145,
+	})
+
+	// Db6 is the 6-tap Daubechies filter (3 vanishing moments); degree ≤ 2.
+	Db6 = newFilter("Db6", []float64{
+		0.3326705529509569, 0.8068915093133388, 0.4598775021193313,
+		-0.13501102001039084, -0.08544127388224149, 0.035226291882100656,
+	})
+
+	// Db8 is the 8-tap Daubechies filter (4 vanishing moments); degree ≤ 3.
+	Db8 = newFilter("Db8", []float64{
+		0.23037781330885523, 0.7148465705525415, 0.6308807679295904,
+		-0.02798376941698385, -0.18703481171888114, 0.030841381835986965,
+		0.032883011666982945, -0.010597401784997278,
+	})
+
+	// Db10 is the 10-tap Daubechies filter (5 vanishing moments); degree ≤ 4.
+	Db10 = newFilter("Db10", []float64{
+		0.160102397974125, 0.6038292697974729, 0.7243085284385744,
+		0.13842814590110342, -0.24229488706619015, -0.03224486958502952,
+		0.07757149384006515, -0.006241490213011705, -0.012580751999015526,
+		0.003335725285001549,
+	})
+
+	// Db12 is the 12-tap Daubechies filter (6 vanishing moments); degree ≤ 5.
+	Db12 = newFilter("Db12", []float64{
+		0.11154074335008017, 0.4946238903983854, 0.7511339080215775,
+		0.3152503517092432, -0.22626469396516913, -0.12976686756709563,
+		0.09750160558707936, 0.02752286553001629, -0.031582039318031156,
+		0.000553842200993802, 0.004777257511010651, -0.001077301085308479,
+	})
+)
+
+// Filters lists every built-in filter, shortest first.
+var Filters = []*Filter{Haar, Db4, Db6, Db8, Db10, Db12}
+
+// ForDegree returns the shortest built-in Daubechies filter whose wavelets
+// annihilate polynomials of the given degree (filter length 2·degree+2, as in
+// the paper), or an error if the degree exceeds the built-in set.
+func ForDegree(degree int) (*Filter, error) {
+	if degree < 0 {
+		return nil, fmt.Errorf("wavelet: negative degree %d", degree)
+	}
+	for _, f := range Filters {
+		if f.SupportsDegree(degree) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("wavelet: no built-in filter supports degree %d (max %d)",
+		degree, Filters[len(Filters)-1].VanishingMoments()-1)
+}
+
+// ByName returns the built-in filter with the given name.
+func ByName(name string) (*Filter, error) {
+	for _, f := range Filters {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("wavelet: unknown filter %q", name)
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns log2(n) for a positive power of two n; it panics otherwise.
+func Log2(n int) int {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("wavelet: %d is not a positive power of two", n))
+	}
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// checkOrthonormal is used by tests; it returns the worst violation of the
+// orthonormality conditions for f.
+func (f *Filter) checkOrthonormal() float64 {
+	worst := math.Abs(sum(f.H) - math.Sqrt2)
+	L := f.Len()
+	for m := 0; 2*m < L; m++ {
+		var dot float64
+		for n := 0; n+2*m < L; n++ {
+			dot += f.H[n] * f.H[n+2*m]
+		}
+		want := 0.0
+		if m == 0 {
+			want = 1.0
+		}
+		if v := math.Abs(dot - want); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFiltersOrthonormal(t *testing.T) {
+	for _, f := range Filters {
+		if worst := f.checkOrthonormal(); worst > 1e-10 {
+			t.Errorf("%s: orthonormality violated by %g", f.Name, worst)
+		}
+	}
+}
+
+func TestFiltersVanishingMoments(t *testing.T) {
+	for _, f := range Filters {
+		want := f.VanishingMoments()
+		for j := 0; j < want; j++ {
+			var m float64
+			for n, g := range f.G {
+				m += g * math.Pow(float64(n), float64(j))
+			}
+			// Published double-precision coefficients carry ~1e-13 rounding
+			// per tap; moment j amplifies that by roughly L^j.
+			tol := 1e-12 * math.Pow(float64(f.Len()), float64(j+1))
+			if math.Abs(m) > tol {
+				t.Errorf("%s: moment %d = %g, want 0 (tol %g)", f.Name, j, m, tol)
+			}
+		}
+		// The next moment must NOT vanish (the filter is exactly minimal).
+		var m float64
+		for n, g := range f.G {
+			m += g * math.Pow(float64(n), float64(want))
+		}
+		if math.Abs(m) < 1e-6 {
+			t.Errorf("%s: moment %d unexpectedly vanishes", f.Name, want)
+		}
+	}
+}
+
+func TestFilterLensAndNames(t *testing.T) {
+	wantLens := map[string]int{
+		"Haar": 2, "Db4": 4, "Db6": 6, "Db8": 8, "Db10": 10, "Db12": 12,
+	}
+	for _, f := range Filters {
+		if got := f.Len(); got != wantLens[f.Name] {
+			t.Errorf("%s: Len = %d, want %d", f.Name, got, wantLens[f.Name])
+		}
+		if f.VanishingMoments() != f.Len()/2 {
+			t.Errorf("%s: VanishingMoments = %d", f.Name, f.VanishingMoments())
+		}
+	}
+}
+
+func TestForDegree(t *testing.T) {
+	cases := []struct {
+		degree int
+		want   string
+	}{
+		{0, "Haar"}, {1, "Db4"}, {2, "Db6"}, {3, "Db8"}, {4, "Db10"}, {5, "Db12"},
+	}
+	for _, c := range cases {
+		f, err := ForDegree(c.degree)
+		if err != nil {
+			t.Fatalf("ForDegree(%d): %v", c.degree, err)
+		}
+		if f.Name != c.want {
+			t.Errorf("ForDegree(%d) = %s, want %s", c.degree, f.Name, c.want)
+		}
+	}
+	if _, err := ForDegree(6); err == nil {
+		t.Error("ForDegree(6) should fail with built-in set")
+	}
+	if _, err := ForDegree(-1); err == nil {
+		t.Error("ForDegree(-1) should fail")
+	}
+}
+
+func TestByName(t *testing.T) {
+	f, err := ByName("Db4")
+	if err != nil || f.Len() != 4 {
+		t.Fatalf("ByName(Db4) = %v, %v", f, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestSupportsDegree(t *testing.T) {
+	if !Haar.SupportsDegree(0) || Haar.SupportsDegree(1) {
+		t.Error("Haar degree support wrong")
+	}
+	if !Db4.SupportsDegree(1) || Db4.SupportsDegree(2) {
+		t.Error("Db4 degree support wrong")
+	}
+}
+
+func TestIsPow2AndLog2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -1, 3, 6, 1023} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 {
+		t.Error("Log2 wrong")
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Log2(3)
+}

@@ -1,0 +1,418 @@
+package wavelet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/poly"
+)
+
+// This file implements the lazy sparse wavelet transform of 1-D query
+// factors q[x] = p(x) for x in [a,b] and 0 elsewhere — the machinery that
+// makes ProPolyne-style query rewriting poly-logarithmic.
+//
+// The idea: the level-0 signal is a single polynomial run. One analysis
+// level convolves with a length-L filter and downsamples; for output indices
+// whose filter window lies entirely inside a run, the output is again a
+// polynomial in the output index (Q(k) = Σ_n h[n]·P(2k+n)), so the
+// approximation band keeps a compact run representation, and the detail band
+// is *identically zero* in the interior whenever the wavelet has more
+// vanishing moments than deg(p). Only O(L) boundary outputs per level need
+// explicit evaluation, which is where the sparse detail coefficients come
+// from. The cascade therefore emits O(L·log N) nonzero coefficients using
+// O(L²·deg·log N) arithmetic, independent of the range width.
+
+// zeroTol is the relative tolerance below which computed coefficients are
+// treated as exact zeros. Interior detail polynomials are analytically zero
+// when the filter has enough vanishing moments; floating-point evaluation
+// leaves residue around 1e-12 times the coefficient scale.
+const zeroTol = 1e-9
+
+// run is a maximal interval [lo, hi] (inclusive, never wrapping) on which a
+// level signal equals p evaluated at the index.
+type run struct {
+	lo, hi int
+	p      poly.Poly
+}
+
+// levelSignal represents one approximation band during the cascade: a set of
+// disjoint, sorted polynomial runs plus explicit values at indices not
+// covered by any run.
+type levelSignal struct {
+	n        int
+	runs     []run
+	explicit map[int]float64
+}
+
+// read returns the signal value at index x (taken mod n).
+func (s *levelSignal) read(x int) float64 {
+	x = mod(x, s.n)
+	if v, ok := s.explicit[x]; ok {
+		return v
+	}
+	// Binary search for the run containing x.
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi >= x })
+	if i < len(s.runs) && s.runs[i].lo <= x {
+		return s.runs[i].p.EvalInt(x)
+	}
+	return 0
+}
+
+// dense materializes the whole signal.
+func (s *levelSignal) dense() []float64 {
+	out := make([]float64, s.n)
+	for _, r := range s.runs {
+		for x := r.lo; x <= r.hi; x++ {
+			out[x] = r.p.EvalInt(x)
+		}
+	}
+	for x, v := range s.explicit {
+		out[x] = v
+	}
+	return out
+}
+
+func mod(x, n int) int {
+	x %= n
+	if x < 0 {
+		x += n
+	}
+	return x
+}
+
+// QueryTransform computes the full multi-level periodic DWT of the signal
+// q[x] = p(x)·χ_[a,b](x) on a domain of power-of-two size n, returning only
+// the nonzero coefficients as a position→value map in the canonical pyramid
+// layout. The result is identical (within floating-point tolerance) to
+// applying Filter.Forward to the densely sampled signal, but is computed in
+// time proportional to the number of nonzero outputs when the filter has
+// more vanishing moments than deg(p).
+//
+// If the filter has too few vanishing moments for deg(p) (e.g. Haar with a
+// degree-1 polynomial), the transform is still exact but the interior detail
+// bands no longer vanish, so the output degrades gracefully toward O(n)
+// nonzeros.
+func (f *Filter) QueryTransform(p poly.Poly, a, b, n int) (map[int]float64, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("wavelet: domain size %d is not a power of two", n)
+	}
+	if a < 0 || b >= n || a > b {
+		return nil, fmt.Errorf("wavelet: range [%d,%d] invalid for domain size %d", a, b, n)
+	}
+	out := make(map[int]float64)
+	if p.IsZero() {
+		return out, nil
+	}
+	sig := &levelSignal{n: n, explicit: map[int]float64{}}
+	sig.runs = []run{{lo: a, hi: b, p: p}}
+	// Scale used to decide which computed values are exact zeros.
+	scale := p.MaxAbsCoeff() * math.Pow(float64(n), float64(p.Degree()))
+	if scale == 0 {
+		scale = 1
+	}
+
+	L := f.Len()
+	for m := n; m >= 2; m /= 2 {
+		if m <= 4*L || len(sig.explicit) > m/2 {
+			// Tail of the cascade: the signal is tiny (or already mostly
+			// explicit); finish densely.
+			f.finishDense(sig, m, out, scale)
+			return out, nil
+		}
+		m2 := m / 2
+		sig = f.analyzeLazy(sig, scale, func(k int, v float64) {
+			out[m2+k] += v
+		})
+	}
+	// m == 1: single remaining scaling coefficient at layout position 0.
+	if v := sig.read(0); math.Abs(v) > zeroTol*scale {
+		out[0] = v
+	}
+	return out, nil
+}
+
+// LevelBands holds the per-level output of the analysis cascade on a 1-D
+// query factor: Details[j] are the detail coefficients produced by step j+1
+// (local positions in [0, n>>(j+1))), Approxes[j] the approximation after
+// that step (same index space). The final Approxes entry has length-1 index
+// space holding the overall scaling coefficient. This is the form the
+// nonstandard (simultaneous-dimension) decomposition assembles its tensor
+// blocks from.
+type LevelBands struct {
+	N        int
+	Details  []map[int]float64
+	Approxes []map[int]float64
+}
+
+// Levels returns the number of analysis steps recorded.
+func (b *LevelBands) Levels() int { return len(b.Details) }
+
+// QueryLevelBands runs the same lazy cascade as QueryTransform but returns
+// the per-level detail and approximation bands instead of the pyramid
+// layout. Note that unlike the pyramid output, approximation bands of a
+// range factor are dense over the (shrinking) range support, so the total
+// size is O(b−a), not poly-log.
+func (f *Filter) QueryLevelBands(p poly.Poly, a, b, n int) (*LevelBands, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("wavelet: domain size %d is not a power of two", n)
+	}
+	if a < 0 || b >= n || a > b {
+		return nil, fmt.Errorf("wavelet: range [%d,%d] invalid for domain size %d", a, b, n)
+	}
+	bands := &LevelBands{N: n}
+	if p.IsZero() || n == 1 {
+		return bands, nil
+	}
+	sig := &levelSignal{n: n, explicit: map[int]float64{}}
+	sig.runs = []run{{lo: a, hi: b, p: p}}
+	scale := p.MaxAbsCoeff() * math.Pow(float64(n), float64(p.Degree()))
+	if scale == 0 {
+		scale = 1
+	}
+	L := f.Len()
+	for m := n; m >= 2; m /= 2 {
+		if m <= 4*L || len(sig.explicit) > m/2 {
+			f.finishDenseBands(sig, m, scale, bands)
+			return bands, nil
+		}
+		detail := make(map[int]float64)
+		sig = f.analyzeLazy(sig, scale, func(k int, v float64) {
+			detail[k] += v
+		})
+		bands.Details = append(bands.Details, detail)
+		bands.Approxes = append(bands.Approxes, sig.toSparse(scale))
+	}
+	return bands, nil
+}
+
+// toSparse materializes the signal as a sparse map, dropping negligible
+// values.
+func (s *levelSignal) toSparse(scale float64) map[int]float64 {
+	out := make(map[int]float64)
+	for _, r := range s.runs {
+		for x := r.lo; x <= r.hi; x++ {
+			if v := r.p.EvalInt(x); math.Abs(v) > zeroTol*scale {
+				out[x] = v
+			}
+		}
+	}
+	for x, v := range s.explicit {
+		if math.Abs(v) > zeroTol*scale {
+			out[x] = v
+		}
+	}
+	return out
+}
+
+// finishDenseBands completes the cascade densely, appending per-level bands.
+func (f *Filter) finishDenseBands(sig *levelSignal, m int, scale float64, bands *LevelBands) {
+	s := sig.dense()
+	buf := make([]float64, m)
+	for cur := m; cur >= 2; cur /= 2 {
+		a, d := buf[:cur/2], buf[cur/2:cur]
+		f.AnalyzeLevel(s[:cur], a, d)
+		copy(s[:cur], buf[:cur])
+		detail := make(map[int]float64)
+		for k, v := range d {
+			if math.Abs(v) > zeroTol*scale {
+				detail[k] += v
+			}
+		}
+		approx := make(map[int]float64)
+		for k, v := range a {
+			if math.Abs(v) > zeroTol*scale {
+				approx[k] = v
+			}
+		}
+		bands.Details = append(bands.Details, detail)
+		bands.Approxes = append(bands.Approxes, approx)
+	}
+}
+
+// analyzeLazy applies one analysis level to sig, emitting detail
+// coefficients (level-local positions) through emit and returning the next
+// approximation band.
+func (f *Filter) analyzeLazy(sig *levelSignal, scale float64, emit func(k int, v float64)) *levelSignal {
+	m := sig.n
+	m2 := m / 2
+	L := f.Len()
+	next := &levelSignal{n: m2, explicit: map[int]float64{}}
+
+	// Candidate output indices needing explicit evaluation (windows that
+	// touch a run boundary, an explicit input, or the periodic wrap).
+	candidates := make(map[int]struct{})
+	addCandidates := func(kLo, kHi int) {
+		for k := kLo; k <= kHi; k++ {
+			candidates[mod(k, m2)] = struct{}{}
+		}
+	}
+
+	for _, r := range sig.runs {
+		// Windows [2k, 2k+L-1] intersecting [r.lo, r.hi]:
+		//   kAllLo = ceil((r.lo-L+1)/2), kAllHi = floor(r.hi/2).
+		kAllLo := ceilDiv(r.lo-L+1, 2)
+		kAllHi := floorDiv(r.hi, 2)
+		// Windows fully inside the run:
+		kIntLo := ceilDiv(r.lo, 2)
+		kIntHi := floorDiv(r.hi-L+1, 2)
+		if kIntLo <= kIntHi {
+			// Interior: approximation is a polynomial run; the detail run is
+			// the zero polynomial when the filter has enough vanishing
+			// moments.
+			qa := poly.Zero()
+			qg := poly.Zero()
+			for nTap := 0; nTap < L; nTap++ {
+				shifted := r.p.AffineCompose(2, float64(nTap))
+				qa = qa.Add(shifted.Scale(f.H[nTap]))
+				qg = qg.Add(shifted.Scale(f.G[nTap]))
+			}
+			if !negligibleOn(qa, kIntHi, zeroTol*scale) {
+				next.runs = append(next.runs, run{lo: kIntLo, hi: kIntHi, p: qa})
+			}
+			if !negligibleOn(qg, kIntHi, zeroTol*scale) {
+				// Insufficient vanishing moments: materialize the interior
+				// detail run explicitly (graceful degradation).
+				for k := kIntLo; k <= kIntHi; k++ {
+					if v := qg.EvalInt(k); math.Abs(v) > zeroTol*scale {
+						emit(k, v)
+					}
+				}
+			}
+			addCandidates(kAllLo, kIntLo-1)
+			addCandidates(kIntHi+1, kAllHi)
+		} else {
+			addCandidates(kAllLo, kAllHi)
+		}
+	}
+	for x := range sig.explicit {
+		// Windows covering explicit input x: 2k ≤ x ≤ 2k+L-1.
+		addCandidates(ceilDiv(x-L+1, 2), floorDiv(x, 2))
+	}
+
+	sort.Slice(next.runs, func(i, j int) bool { return next.runs[i].lo < next.runs[j].lo })
+
+	// Evaluate candidates explicitly via the generic periodic convolution,
+	// skipping any candidate that landed inside an interior run (its value is
+	// already represented there).
+	for k := range candidates {
+		if next.covered(k) {
+			continue
+		}
+		var av, dv float64
+		base := 2 * k
+		for nTap := 0; nTap < L; nTap++ {
+			v := sig.read(base + nTap)
+			av += f.H[nTap] * v
+			dv += f.G[nTap] * v
+		}
+		if math.Abs(av) > zeroTol*scale {
+			next.explicit[k] = av
+		}
+		if math.Abs(dv) > zeroTol*scale {
+			emit(k, dv)
+		}
+	}
+	return next
+}
+
+// covered reports whether index k lies inside one of s.runs.
+func (s *levelSignal) covered(k int) bool {
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi >= k })
+	return i < len(s.runs) && s.runs[i].lo <= k
+}
+
+// finishDense materializes the signal (current length m) and completes the
+// remaining levels with the dense transform, emitting all nonzero
+// coefficients into the pyramid layout (offsets depend only on m).
+func (f *Filter) finishDense(sig *levelSignal, m int, out map[int]float64, scale float64) {
+	s := sig.dense()
+	buf := make([]float64, m)
+	for cur := m; cur >= 2; cur /= 2 {
+		a, d := buf[:cur/2], buf[cur/2:cur]
+		f.AnalyzeLevel(s[:cur], a, d)
+		copy(s[:cur], buf[:cur])
+		for k, v := range d {
+			if math.Abs(v) > zeroTol*scale {
+				out[cur/2+k] += v
+			}
+		}
+	}
+	if math.Abs(s[0]) > zeroTol*scale {
+		out[0] += s[0]
+	}
+}
+
+// QueryTransformDense computes the same coefficient map as QueryTransform by
+// densely sampling the query factor and applying the full transform. It is
+// the straightforward O(n log n)-work oracle used in tests and ablation
+// benches.
+func (f *Filter) QueryTransformDense(p poly.Poly, a, b, n int) (map[int]float64, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("wavelet: domain size %d is not a power of two", n)
+	}
+	if a < 0 || b >= n || a > b {
+		return nil, fmt.Errorf("wavelet: range [%d,%d] invalid for domain size %d", a, b, n)
+	}
+	s := make([]float64, n)
+	scale := 0.0
+	for x := a; x <= b; x++ {
+		s[x] = p.EvalInt(x)
+		if v := math.Abs(s[x]); v > scale {
+			scale = v
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	f.Forward(s)
+	out := make(map[int]float64)
+	for i, v := range s {
+		if math.Abs(v) > zeroTol*scale {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// ImpulseTransform returns the nonzero transform coefficients of the unit
+// impulse at index x on a domain of size n. This is the per-dimension
+// building block of single-tuple updates to the stored data transform: a new
+// tuple adds the (tensor product of the per-dimension) impulse transform to
+// Δ̂. The result has O(L·log n) nonzeros.
+func (f *Filter) ImpulseTransform(x, n int) (map[int]float64, error) {
+	return f.QueryTransform(poly.Constant(1), x, x, n)
+}
+
+// negligibleOn reports whether |p(k)| is guaranteed below tol for every
+// integer k in [0, maxIdx], using the coefficient-magnitude bound
+// Σ_j |c_j|·maxIdx^j. A plain coefficient-wise zero test is wrong here: a
+// coefficient of size ε on x^5 contributes ε·maxIdx^5, which can be enormous.
+func negligibleOn(p poly.Poly, maxIdx int, tol float64) bool {
+	if maxIdx < 1 {
+		maxIdx = 1
+	}
+	var bound, pw float64
+	pw = 1
+	for _, c := range p {
+		bound += math.Abs(c) * pw
+		pw *= float64(maxIdx)
+	}
+	return bound <= tol
+}
+
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,293 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/poly"
+)
+
+// compareMaps checks that two sparse coefficient maps agree within tol,
+// treating absent keys as zero.
+func compareMaps(t *testing.T, got, want map[int]float64, tol float64, ctx string) {
+	t.Helper()
+	keys := map[int]struct{}{}
+	for k := range got {
+		keys[k] = struct{}{}
+	}
+	for k := range want {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		if d := math.Abs(got[k] - want[k]); d > tol {
+			t.Fatalf("%s: coefficient %d: got %g want %g (diff %g)", ctx, k, got[k], want[k], d)
+		}
+	}
+}
+
+func TestQueryTransformMatchesDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, f := range Filters {
+		maxDeg := f.VanishingMoments() - 1
+		for _, n := range []int{8, 16, 64, 256, 1024} {
+			for trial := 0; trial < 8; trial++ {
+				deg := rng.Intn(maxDeg + 1)
+				p := make(poly.Poly, deg+1)
+				for i := range p {
+					p[i] = rng.NormFloat64()
+				}
+				p[deg] = rng.NormFloat64() + 2 // ensure true degree
+				a := rng.Intn(n)
+				b := a + rng.Intn(n-a)
+				lazy, err := f.QueryTransform(p, a, b, n)
+				if err != nil {
+					t.Fatalf("%s n=%d: %v", f.Name, n, err)
+				}
+				dense, err := f.QueryTransformDense(p, a, b, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scale := p.MaxAbsCoeff() * math.Pow(float64(n), float64(deg))
+				compareMaps(t, lazy, dense, 1e-7*scale, f.Name)
+			}
+		}
+	}
+}
+
+func TestQueryTransformFullDomainConstant(t *testing.T) {
+	// χ over the whole domain with p=1: only the scaling coefficient √n.
+	for _, f := range Filters {
+		n := 256
+		m, err := f.QueryTransform(poly.Constant(1), 0, n-1, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 1 {
+			t.Fatalf("%s: %d nonzeros, want 1 (%v)", f.Name, len(m), m)
+		}
+		if math.Abs(m[0]-math.Sqrt(float64(n))) > 1e-9 {
+			t.Fatalf("%s: scaling coefficient %g", f.Name, m[0])
+		}
+	}
+}
+
+func TestQueryTransformSparsityBound(t *testing.T) {
+	// For supported degrees the nonzero count is O(L·log n): each of the
+	// log n levels contributes at most ~2L boundary details.
+	rng := rand.New(rand.NewSource(13))
+	for _, f := range Filters {
+		n := 4096
+		deg := f.VanishingMoments() - 1
+		p := poly.Monomial(1, deg)
+		for trial := 0; trial < 10; trial++ {
+			a := rng.Intn(n)
+			b := a + rng.Intn(n-a)
+			m, err := f.QueryTransform(p, a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := (4*f.Len() + 8) * Log2(n)
+			if len(m) > bound {
+				t.Fatalf("%s deg=%d [%d,%d]: %d nonzeros exceeds bound %d",
+					f.Name, deg, a, b, len(m), bound)
+			}
+		}
+	}
+}
+
+func TestQueryTransformInnerProductEvaluatesRangeSum(t *testing.T) {
+	// The whole point: ⟨q̂, Δ̂⟩ = Σ_{x∈[a,b]} p(x)·Δ[x].
+	rng := rand.New(rand.NewSource(17))
+	for _, f := range []*Filter{Haar, Db4, Db6} {
+		n := 128
+		data := randSignal(rng, n)
+		dataHat := f.ForwardCopy(data)
+		for trial := 0; trial < 20; trial++ {
+			deg := rng.Intn(f.VanishingMoments())
+			p := make(poly.Poly, deg+1)
+			for i := range p {
+				p[i] = rng.NormFloat64()
+			}
+			a := rng.Intn(n)
+			b := a + rng.Intn(n-a)
+			var want float64
+			for x := a; x <= b; x++ {
+				want += p.EvalInt(x) * data[x]
+			}
+			q, err := f.QueryTransform(p, a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got float64
+			for pos, c := range q {
+				got += c * dataHat[pos]
+			}
+			if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("%s deg=%d [%d,%d]: got %g want %g", f.Name, deg, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestQueryTransformInsufficientMomentsStillExact(t *testing.T) {
+	// Haar with a degree-1 polynomial: interior details no longer vanish,
+	// but the transform must remain exact (graceful degradation).
+	n := 256
+	p := poly.New(1, 1) // 1 + x
+	lazy, err := Haar.QueryTransform(p, 10, 200, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := Haar.QueryTransformDense(p, 10, 200, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareMaps(t, lazy, dense, 1e-6*float64(n), "Haar-deg1")
+	if len(lazy) < 50 {
+		t.Fatalf("expected dense-ish output for insufficient moments, got %d nonzeros", len(lazy))
+	}
+}
+
+func TestQueryTransformSinglePoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, f := range Filters {
+		n := 64
+		x := rng.Intn(n)
+		lazy, err := f.QueryTransform(poly.Constant(2.5), x, x, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := f.QueryTransformDense(poly.Constant(2.5), x, x, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareMaps(t, lazy, dense, 1e-9, f.Name)
+	}
+}
+
+func TestQueryTransformZeroPoly(t *testing.T) {
+	m, err := Db4.QueryTransform(poly.Zero(), 0, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("zero polynomial produced %d coefficients", len(m))
+	}
+}
+
+func TestQueryTransformErrors(t *testing.T) {
+	cases := []struct{ a, b, n int }{
+		{0, 10, 63},  // non-pow2
+		{-1, 10, 64}, // negative lo
+		{5, 64, 64},  // hi out of range
+		{10, 5, 64},  // inverted
+	}
+	for _, c := range cases {
+		if _, err := Db4.QueryTransform(poly.Constant(1), c.a, c.b, c.n); err == nil {
+			t.Errorf("QueryTransform(%d,%d,%d) should fail", c.a, c.b, c.n)
+		}
+		if _, err := Db4.QueryTransformDense(poly.Constant(1), c.a, c.b, c.n); err == nil {
+			t.Errorf("QueryTransformDense(%d,%d,%d) should fail", c.a, c.b, c.n)
+		}
+	}
+}
+
+func TestImpulseTransformParseval(t *testing.T) {
+	// ⟨δ̂_x, Δ̂⟩ must recover Δ[x].
+	rng := rand.New(rand.NewSource(23))
+	for _, f := range Filters {
+		n := 128
+		data := randSignal(rng, n)
+		hat := f.ForwardCopy(data)
+		for trial := 0; trial < 10; trial++ {
+			x := rng.Intn(n)
+			imp, err := f.ImpulseTransform(x, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got float64
+			for pos, c := range imp {
+				got += c * hat[pos]
+			}
+			if math.Abs(got-data[x]) > 1e-8 {
+				t.Fatalf("%s: impulse at %d recovered %g want %g", f.Name, x, got, data[x])
+			}
+		}
+	}
+}
+
+func TestQuickLazyVsDense(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := Filters[rng.Intn(len(Filters))]
+		n := 1 << (3 + rng.Intn(6))
+		deg := rng.Intn(f.VanishingMoments())
+		p := make(poly.Poly, deg+1)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		a := rng.Intn(n)
+		b := a + rng.Intn(n-a)
+		lazy, err1 := f.QueryTransform(p, a, b, n)
+		dense, err2 := f.QueryTransformDense(p, a, b, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		scale := 1 + p.MaxAbsCoeff()*math.Pow(float64(n), float64(deg))
+		keys := map[int]struct{}{}
+		for k := range lazy {
+			keys[k] = struct{}{}
+		}
+		for k := range dense {
+			keys[k] = struct{}{}
+		}
+		for k := range keys {
+			if math.Abs(lazy[k]-dense[k]) > 1e-7*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCeilFloorDiv(t *testing.T) {
+	for a := -10; a <= 10; a++ {
+		wantCeil := int(math.Ceil(float64(a) / 2))
+		wantFloor := int(math.Floor(float64(a) / 2))
+		if got := ceilDiv(a, 2); got != wantCeil {
+			t.Errorf("ceilDiv(%d,2) = %d, want %d", a, got, wantCeil)
+		}
+		if got := floorDiv(a, 2); got != wantFloor {
+			t.Errorf("floorDiv(%d,2) = %d, want %d", a, got, wantFloor)
+		}
+	}
+}
+
+func TestModHelper(t *testing.T) {
+	if mod(-1, 8) != 7 || mod(8, 8) != 0 || mod(3, 8) != 3 || mod(-9, 8) != 7 {
+		t.Fatal("mod wrong")
+	}
+}
+
+func BenchmarkQueryTransformLazy(b *testing.B) {
+	p := poly.New(0, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Db4.QueryTransform(p, 100, 3000, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTransformDense(b *testing.B) {
+	p := poly.New(0, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := Db4.QueryTransformDense(p, 100, 3000, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package wavelet
+
+import "fmt"
+
+// The multi-dimensional transform is the "standard decomposition": the full
+// 1-D multi-level transform is applied along every axis in turn. Under this
+// decomposition the transform of a separable function factors into the
+// tensor product of 1-D transforms — the property the query rewriter relies
+// on: the coefficients of p(x_0)·χ[a_0,b_0] ⊗ … ⊗ p(x_{d-1})·χ[a_{d-1},b_{d-1}]
+// are exactly the products of the per-dimension 1-D coefficients.
+
+// CheckDims validates that every dimension size is a power of two and
+// returns the total cell count.
+func CheckDims(dims []int) (int, error) {
+	if len(dims) == 0 {
+		return 0, fmt.Errorf("wavelet: empty dimension list")
+	}
+	total := 1
+	for i, d := range dims {
+		if !IsPow2(d) {
+			return 0, fmt.Errorf("wavelet: dimension %d has size %d, not a power of two", i, d)
+		}
+		if total > (1<<40)/d {
+			return 0, fmt.Errorf("wavelet: domain too large")
+		}
+		total *= d
+	}
+	return total, nil
+}
+
+// ForwardND applies the full 1-D transform along every axis of the row-major
+// array data with the given dimension sizes, in place.
+func (f *Filter) ForwardND(data []float64, dims []int) error {
+	return f.transformND(data, dims, true)
+}
+
+// InverseND inverts ForwardND in place.
+func (f *Filter) InverseND(data []float64, dims []int) error {
+	return f.transformND(data, dims, false)
+}
+
+func (f *Filter) transformND(data []float64, dims []int, forward bool) error {
+	total, err := CheckDims(dims)
+	if err != nil {
+		return err
+	}
+	if len(data) != total {
+		return fmt.Errorf("wavelet: data length %d does not match dims (want %d)", len(data), total)
+	}
+	// Row-major strides: stride of axis i is the product of sizes of axes > i.
+	d := len(dims)
+	strides := make([]int, d)
+	strides[d-1] = 1
+	for i := d - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * dims[i+1]
+	}
+	maxDim := 0
+	for _, n := range dims {
+		if n > maxDim {
+			maxDim = n
+		}
+	}
+	line := make([]float64, maxDim)
+	buf := make([]float64, maxDim)
+
+	for axis := 0; axis < d; axis++ {
+		n := dims[axis]
+		if n == 1 {
+			continue
+		}
+		stride := strides[axis]
+		// Iterate over every 1-D line along this axis. The lines start at
+		// offsets base where the axis coordinate is zero.
+		outerCount := total / n
+		for lineIdx := 0; lineIdx < outerCount; lineIdx++ {
+			// Map lineIdx to a base offset skipping the axis coordinate.
+			base := lineBase(lineIdx, axis, dims, strides)
+			// Gather.
+			for k := 0; k < n; k++ {
+				line[k] = data[base+k*stride]
+			}
+			if forward {
+				f.forwardWithBuf(line[:n], buf[:n])
+			} else {
+				lv := line[:n]
+				for m := 2; m <= n; m *= 2 {
+					f.SynthesizeLevel(lv[:m/2], lv[m/2:m], buf[:m])
+					copy(lv[:m], buf[:m])
+				}
+			}
+			// Scatter.
+			for k := 0; k < n; k++ {
+				data[base+k*stride] = line[k]
+			}
+		}
+	}
+	return nil
+}
+
+// lineBase returns the flat offset of the first element of the lineIdx-th
+// line along the given axis.
+func lineBase(lineIdx, axis int, dims, strides []int) int {
+	base := 0
+	// Decompose lineIdx over all axes except `axis`, most significant first.
+	for i := 0; i < len(dims); i++ {
+		if i == axis {
+			continue
+		}
+		// Count cells in the remaining (non-axis) dimensions after i.
+		rem := 1
+		for j := i + 1; j < len(dims); j++ {
+			if j == axis {
+				continue
+			}
+			rem *= dims[j]
+		}
+		coord := lineIdx / rem
+		lineIdx %= rem
+		base += coord * strides[i]
+	}
+	return base
+}
+
+// FlatIndex converts multi-dimensional coordinates to a row-major flat index.
+func FlatIndex(coords, dims []int) int {
+	idx := 0
+	for i, c := range coords {
+		if c < 0 || c >= dims[i] {
+			panic(fmt.Sprintf("wavelet: coordinate %d out of range [0,%d)", c, dims[i]))
+		}
+		idx = idx*dims[i] + c
+	}
+	return idx
+}
+
+// Unflatten converts a row-major flat index back to coordinates, filling the
+// provided slice (which must have len(dims) entries).
+func Unflatten(idx int, dims, coords []int) {
+	for i := len(dims) - 1; i >= 0; i-- {
+		coords[i] = idx % dims[i]
+		idx /= dims[i]
+	}
+}

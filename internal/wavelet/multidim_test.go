@@ -1,0 +1,170 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardInverseNDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	shapes := [][]int{{8}, {4, 8}, {8, 8, 4}, {2, 4, 2, 8}, {1, 8}, {16, 1, 4}}
+	for _, f := range []*Filter{Haar, Db4, Db6} {
+		for _, dims := range shapes {
+			total, err := CheckDims(dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := randSignal(rng, total)
+			orig := append([]float64(nil), data...)
+			if err := f.ForwardND(data, dims); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.InverseND(data, dims); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(data, orig); d > 1e-9 {
+				t.Errorf("%s dims=%v: roundtrip error %g", f.Name, dims, d)
+			}
+		}
+	}
+}
+
+func TestParsevalND(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	dims := []int{8, 16, 4}
+	total := 8 * 16 * 4
+	for _, f := range []*Filter{Haar, Db4} {
+		a := randSignal(rng, total)
+		b := randSignal(rng, total)
+		want := dot(a, b)
+		ta := append([]float64(nil), a...)
+		tb := append([]float64(nil), b...)
+		if err := f.ForwardND(ta, dims); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ForwardND(tb, dims); err != nil {
+			t.Fatal(err)
+		}
+		got := dot(ta, tb)
+		if math.Abs(want-got) > 1e-8*(1+math.Abs(want)) {
+			t.Errorf("%s: inner product %g vs %g", f.Name, want, got)
+		}
+	}
+}
+
+func TestSeparability(t *testing.T) {
+	// The ND transform of an outer product equals the outer product of 1-D
+	// transforms — the identity the query rewriter depends on.
+	rng := rand.New(rand.NewSource(41))
+	n0, n1 := 16, 8
+	u := randSignal(rng, n0)
+	v := randSignal(rng, n1)
+	data := make([]float64, n0*n1)
+	for i := 0; i < n0; i++ {
+		for j := 0; j < n1; j++ {
+			data[i*n1+j] = u[i] * v[j]
+		}
+	}
+	for _, f := range []*Filter{Haar, Db4, Db8} {
+		got := append([]float64(nil), data...)
+		if err := f.ForwardND(got, []int{n0, n1}); err != nil {
+			t.Fatal(err)
+		}
+		tu := f.ForwardCopy(u)
+		tv := f.ForwardCopy(v)
+		for i := 0; i < n0; i++ {
+			for j := 0; j < n1; j++ {
+				want := tu[i] * tv[j]
+				if math.Abs(got[i*n1+j]-want) > 1e-9 {
+					t.Fatalf("%s: coefficient (%d,%d) = %g, want %g", f.Name, i, j, got[i*n1+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestSeparability3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	dims := []int{4, 8, 4}
+	u := randSignal(rng, dims[0])
+	v := randSignal(rng, dims[1])
+	w := randSignal(rng, dims[2])
+	data := make([]float64, dims[0]*dims[1]*dims[2])
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			for k := 0; k < dims[2]; k++ {
+				data[FlatIndex([]int{i, j, k}, dims)] = u[i] * v[j] * w[k]
+			}
+		}
+	}
+	f := Db4
+	if err := f.ForwardND(data, dims); err != nil {
+		t.Fatal(err)
+	}
+	tu, tv, tw := f.ForwardCopy(u), f.ForwardCopy(v), f.ForwardCopy(w)
+	for i := 0; i < dims[0]; i++ {
+		for j := 0; j < dims[1]; j++ {
+			for k := 0; k < dims[2]; k++ {
+				want := tu[i] * tv[j] * tw[k]
+				got := data[FlatIndex([]int{i, j, k}, dims)]
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("coefficient (%d,%d,%d) = %g, want %g", i, j, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if _, err := CheckDims(nil); err == nil {
+		t.Error("empty dims should fail")
+	}
+	if _, err := CheckDims([]int{4, 3}); err == nil {
+		t.Error("non-pow2 dim should fail")
+	}
+	total, err := CheckDims([]int{4, 8, 2})
+	if err != nil || total != 64 {
+		t.Errorf("CheckDims = %d, %v", total, err)
+	}
+}
+
+func TestTransformNDLengthMismatch(t *testing.T) {
+	if err := Haar.ForwardND(make([]float64, 5), []int{4, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestFlatIndexUnflattenRoundTrip(t *testing.T) {
+	dims := []int{3, 4, 5}
+	coords := make([]int, 3)
+	for idx := 0; idx < 60; idx++ {
+		Unflatten(idx, dims, coords)
+		if got := FlatIndex(coords, dims); got != idx {
+			t.Fatalf("roundtrip %d -> %v -> %d", idx, coords, got)
+		}
+	}
+}
+
+func TestFlatIndexPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FlatIndex([]int{4}, []int{4})
+}
+
+func BenchmarkForwardND(b *testing.B) {
+	rng := rand.New(rand.NewSource(47))
+	dims := []int{64, 64, 16}
+	data := randSignal(rng, 64*64*16)
+	work := make([]float64, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, data)
+		if err := Db4.ForwardND(work, dims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

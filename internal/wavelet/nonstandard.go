@@ -1,0 +1,151 @@
+package wavelet
+
+import "fmt"
+
+// The nonstandard decomposition interleaves dimensions: at every level one
+// analysis step is applied along *each* axis of the current approximation
+// hypercube, the 2^d−1 mixed blocks are emitted, and the recursion continues
+// on the all-approximation corner. It is the classic alternative to the
+// standard (dimension-by-dimension) decomposition this package uses
+// elsewhere, and the basis most wavelet *data-compression* work builds on.
+//
+// For range-sum *query* vectors the nonstandard basis is a poor fit — a
+// d-dimensional range indicator has O(perimeter) nonzero nonstandard
+// coefficients versus O(polylog) standard ones — which is precisely why
+// ProPolyne and this paper use the standard form. The implementation here
+// exists to make that trade-off measurable (see the linstrat ablation).
+//
+// Layout: in place, nested corners. After level 1, the approximation block
+// occupies [0, N/2) in every axis and the mixed blocks the complementary
+// index ranges; the next level subdivides the corner, and so on. Keys remain
+// plain row-major flat indices, so the storage layer is unchanged.
+//
+// The implementation requires a hypercube domain (all dimensions equal), so
+// every axis exhausts after the same number of levels.
+
+// CheckHypercube validates dims for the nonstandard transform and returns
+// the side length.
+func CheckHypercube(dims []int) (int, error) {
+	if _, err := CheckDims(dims); err != nil {
+		return 0, err
+	}
+	n := dims[0]
+	for _, d := range dims {
+		if d != n {
+			return 0, fmt.Errorf("wavelet: nonstandard decomposition requires a hypercube domain, got %v", dims)
+		}
+	}
+	return n, nil
+}
+
+// ForwardNDNonstandard applies the nonstandard decomposition in place.
+func (f *Filter) ForwardNDNonstandard(data []float64, dims []int) error {
+	n, err := CheckHypercube(dims)
+	if err != nil {
+		return err
+	}
+	total := len(data)
+	want := 1
+	for range dims {
+		want *= n
+	}
+	if total != want {
+		return fmt.Errorf("wavelet: data length %d does not match dims (want %d)", total, want)
+	}
+	d := len(dims)
+	strides := make([]int, d)
+	strides[d-1] = 1
+	for i := d - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * dims[i+1]
+	}
+	line := make([]float64, n)
+	buf := make([]float64, n)
+	// At each level, one step along every axis within the current corner
+	// block of side `side`.
+	for side := n; side >= 2; side /= 2 {
+		for axis := 0; axis < d; axis++ {
+			forEachLineInCorner(dims, strides, side, axis, func(base, stride int) {
+				for k := 0; k < side; k++ {
+					line[k] = data[base+k*stride]
+				}
+				f.AnalyzeLevel(line[:side], buf[:side/2], buf[side/2:side])
+				for k := 0; k < side; k++ {
+					data[base+k*stride] = buf[k]
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// InverseNDNonstandard inverts ForwardNDNonstandard in place.
+func (f *Filter) InverseNDNonstandard(data []float64, dims []int) error {
+	n, err := CheckHypercube(dims)
+	if err != nil {
+		return err
+	}
+	total := len(data)
+	want := 1
+	for range dims {
+		want *= n
+	}
+	if total != want {
+		return fmt.Errorf("wavelet: data length %d does not match dims (want %d)", total, want)
+	}
+	d := len(dims)
+	strides := make([]int, d)
+	strides[d-1] = 1
+	for i := d - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * dims[i+1]
+	}
+	line := make([]float64, n)
+	buf := make([]float64, n)
+	for side := 2; side <= n; side *= 2 {
+		for axis := d - 1; axis >= 0; axis-- {
+			forEachLineInCorner(dims, strides, side, axis, func(base, stride int) {
+				for k := 0; k < side; k++ {
+					line[k] = data[base+k*stride]
+				}
+				f.SynthesizeLevel(line[:side/2], line[side/2:side], buf[:side])
+				for k := 0; k < side; k++ {
+					data[base+k*stride] = buf[k]
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// forEachLineInCorner visits every 1-D line of length `side` along `axis`
+// inside the corner block [0,side)^d, calling fn with the line's base offset
+// and stride.
+func forEachLineInCorner(dims, strides []int, side, axis int, fn func(base, stride int)) {
+	d := len(dims)
+	// Iterate over all coordinate combinations of the non-axis dims in
+	// [0, side).
+	coords := make([]int, d)
+	for {
+		base := 0
+		for i := 0; i < d; i++ {
+			base += coords[i] * strides[i]
+		}
+		fn(base, strides[axis])
+		// Odometer over non-axis dims.
+		i := d - 1
+		for i >= 0 {
+			if i == axis {
+				i--
+				continue
+			}
+			coords[i]++
+			if coords[i] < side {
+				break
+			}
+			coords[i] = 0
+			i--
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

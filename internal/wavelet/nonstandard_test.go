@@ -1,0 +1,195 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+func TestNonstandardRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for _, f := range []*Filter{Haar, Db4, Db6} {
+		for _, shape := range [][]int{{8}, {8, 8}, {4, 4, 4}, {16, 16}} {
+			total := 1
+			for _, n := range shape {
+				total *= n
+			}
+			data := randSignal(rng, total)
+			orig := append([]float64(nil), data...)
+			if err := f.ForwardNDNonstandard(data, shape); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.InverseNDNonstandard(data, shape); err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(data, orig); d > 1e-9 {
+				t.Errorf("%s %v: roundtrip error %g", f.Name, shape, d)
+			}
+		}
+	}
+}
+
+func TestNonstandardParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	shape := []int{16, 16}
+	a := randSignal(rng, 256)
+	b := randSignal(rng, 256)
+	want := dot(a, b)
+	ta := append([]float64(nil), a...)
+	tb := append([]float64(nil), b...)
+	if err := Db4.ForwardNDNonstandard(ta, shape); err != nil {
+		t.Fatal(err)
+	}
+	if err := Db4.ForwardNDNonstandard(tb, shape); err != nil {
+		t.Fatal(err)
+	}
+	if got := dot(ta, tb); math.Abs(want-got) > 1e-8*(1+math.Abs(want)) {
+		t.Fatalf("inner product %g vs %g", want, got)
+	}
+}
+
+func TestNonstandardDiffersFromStandard(t *testing.T) {
+	// The two decompositions are different orthonormal bases: same energy,
+	// different coefficients (beyond 1-D, where they coincide).
+	rng := rand.New(rand.NewSource(509))
+	shape := []int{8, 8}
+	data := randSignal(rng, 64)
+	std := append([]float64(nil), data...)
+	if err := Haar.ForwardND(std, shape); err != nil {
+		t.Fatal(err)
+	}
+	non := append([]float64(nil), data...)
+	if err := Haar.ForwardNDNonstandard(non, shape); err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(std, non) < 1e-9 {
+		t.Fatal("standard and nonstandard transforms coincide in 2-D (bug)")
+	}
+	// 1-D: identical.
+	line := randSignal(rng, 16)
+	s1 := append([]float64(nil), line...)
+	Haar.Forward(s1)
+	s2 := append([]float64(nil), line...)
+	if err := Haar.ForwardNDNonstandard(s2, []int{16}); err != nil {
+		t.Fatal(err)
+	}
+	if maxAbsDiff(s1, s2) > 1e-12 {
+		t.Fatal("1-D nonstandard should equal the 1-D transform")
+	}
+}
+
+func TestNonstandardValidation(t *testing.T) {
+	if err := Haar.ForwardNDNonstandard(make([]float64, 32), []int{8, 4}); err == nil {
+		t.Error("non-hypercube should fail")
+	}
+	if err := Haar.ForwardNDNonstandard(make([]float64, 5), []int{8}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := Haar.InverseNDNonstandard(make([]float64, 32), []int{8, 4}); err == nil {
+		t.Error("inverse non-hypercube should fail")
+	}
+	if _, err := CheckHypercube([]int{4, 4}); err != nil {
+		t.Error(err)
+	}
+	if _, err := CheckHypercube([]int{4, 3}); err == nil {
+		t.Error("non-pow2 should fail")
+	}
+}
+
+func TestQueryLevelBandsConsistentWithPyramid(t *testing.T) {
+	// The bands API must reproduce the pyramid transform: detail band j at
+	// local k corresponds to pyramid position n>>(j+1) + k, and the final
+	// approximation to position 0.
+	rng := rand.New(rand.NewSource(521))
+	for _, f := range []*Filter{Haar, Db4} {
+		n := 64
+		for trial := 0; trial < 10; trial++ {
+			a := rng.Intn(n)
+			b := a + rng.Intn(n-a)
+			deg := rng.Intn(f.VanishingMoments())
+			p := randomPoly(rng, deg)
+			bands, err := f.QueryLevelBands(p, a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pyr, err := f.QueryTransform(p, a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt := map[int]float64{}
+			for j, det := range bands.Details {
+				off := n >> (j + 1)
+				for k, v := range det {
+					rebuilt[off+k] += v
+				}
+			}
+			last := bands.Approxes[len(bands.Approxes)-1]
+			for k, v := range last {
+				if k != 0 {
+					t.Fatalf("final approx has key %d", k)
+				}
+				rebuilt[0] += v
+			}
+			keys := map[int]struct{}{}
+			for k := range rebuilt {
+				keys[k] = struct{}{}
+			}
+			for k := range pyr {
+				keys[k] = struct{}{}
+			}
+			for k := range keys {
+				if math.Abs(rebuilt[k]-pyr[k]) > 1e-7*(1+math.Abs(pyr[k])) {
+					t.Fatalf("%s trial %d: position %d: bands %g pyramid %g",
+						f.Name, trial, k, rebuilt[k], pyr[k])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryLevelBandsApproxMatchesCascade(t *testing.T) {
+	// Approxes[j] must equal the dense cascade's approximation after j+1
+	// steps.
+	n := 32
+	p := randomPoly(rand.New(rand.NewSource(523)), 1)
+	a, b := 5, 27
+	bands, err := Db4.QueryLevelBands(p, a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := make([]float64, n)
+	for x := a; x <= b; x++ {
+		s[x] = p.EvalInt(x)
+	}
+	buf := make([]float64, n)
+	for j, m := 0, n; m >= 2; j, m = j+1, m/2 {
+		Db4.AnalyzeLevel(s[:m], buf[:m/2], buf[m/2:m])
+		copy(s[:m], buf[:m])
+		for k := 0; k < m/2; k++ {
+			want := s[k]
+			if math.Abs(bands.Approxes[j][k]-want) > 1e-7*(1+math.Abs(want)) {
+				t.Fatalf("level %d approx[%d] = %g, want %g", j, k, bands.Approxes[j][k], want)
+			}
+		}
+	}
+}
+
+func TestQueryLevelBandsErrors(t *testing.T) {
+	if _, err := Db4.QueryLevelBands(randomPoly(rand.New(rand.NewSource(1)), 0), 0, 1, 6); err == nil {
+		t.Error("non-pow2 should fail")
+	}
+	if _, err := Db4.QueryLevelBands(randomPoly(rand.New(rand.NewSource(1)), 0), 5, 2, 8); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func randomPoly(rng *rand.Rand, deg int) poly.Poly {
+	p := make(poly.Poly, deg+1)
+	for i := range p {
+		p[i] = rng.NormFloat64()
+	}
+	p[deg] += 2
+	return p
+}

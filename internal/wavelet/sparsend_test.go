@@ -1,0 +1,150 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestForwardNDSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for _, f := range []*Filter{Haar, Db4, Db6} {
+		for _, dims := range [][]int{{16}, {8, 8}, {8, 4, 8}, {4, 4, 4, 4}} {
+			total := 1
+			for _, n := range dims {
+				total *= n
+			}
+			dense := make([]float64, total)
+			sparse := make(map[int]float64)
+			nnz := 1 + rng.Intn(total/4)
+			for i := 0; i < nnz; i++ {
+				k := rng.Intn(total)
+				v := rng.NormFloat64()
+				dense[k] += v
+				sparse[k] += v
+			}
+			want := append([]float64(nil), dense...)
+			if err := f.ForwardND(want, dims); err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.ForwardNDSparse(sparse, dims)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, w := range want {
+				if math.Abs(got[k]-w) > 1e-8*(1+math.Abs(w)) {
+					t.Fatalf("%s dims=%v: coefficient %d: sparse %g dense %g",
+						f.Name, dims, k, got[k], w)
+				}
+			}
+			// No spurious keys.
+			for k := range got {
+				if k < 0 || k >= total {
+					t.Fatalf("spurious key %d", k)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardNDSparseSingleTupleMatchesImpulse(t *testing.T) {
+	dims := []int{16, 8}
+	cells := map[int]float64{5*8 + 3: 1}
+	got, err := Db4.ForwardNDSparse(cells, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tensor of per-dim impulse transforms.
+	ix, err := Db4.ImpulseTransform(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iy, err := Db4.ImpulseTransform(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kx, vx := range ix {
+		for ky, vy := range iy {
+			want := vx * vy
+			if math.Abs(got[kx*8+ky]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("coefficient (%d,%d): %g want %g", kx, ky, got[kx*8+ky], want)
+			}
+		}
+	}
+}
+
+func TestForwardNDSparseEmptyAndErrors(t *testing.T) {
+	got, err := Haar.ForwardNDSparse(map[int]float64{}, []int{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty input produced %d coefficients", len(got))
+	}
+	if _, err := Haar.ForwardNDSparse(map[int]float64{99: 1}, []int{8}); err == nil {
+		t.Error("out-of-domain key should fail")
+	}
+	if _, err := Haar.ForwardNDSparse(nil, []int{7}); err == nil {
+		t.Error("non-pow2 dims should fail")
+	}
+	// Zero values are ignored.
+	got, err = Haar.ForwardNDSparse(map[int]float64{3: 0}, []int{8})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("zero value handling wrong: %v %v", got, err)
+	}
+}
+
+func TestForwardNDSparseFillInBounded(t *testing.T) {
+	// A single tuple in a large 3-D domain must produce O((L·log n)^d)
+	// coefficients, far below the domain size.
+	dims := []int{64, 64, 64}
+	got, err := Db4.ForwardNDSparse(map[int]float64{12345: 1}, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1
+	for range dims {
+		bound *= 4 * 7 // L + slack per level × log2(64)=6 levels + 1
+	}
+	if len(got) > bound {
+		t.Fatalf("fill-in %d exceeds bound %d", len(got), bound)
+	}
+	if len(got) < 10 {
+		t.Fatalf("suspiciously few coefficients: %d", len(got))
+	}
+}
+
+func BenchmarkForwardNDSparseVsDense(b *testing.B) {
+	dims := []int{64, 64, 16}
+	total := 64 * 64 * 16
+	rng := rand.New(rand.NewSource(607))
+	sparse := make(map[int]float64)
+	for i := 0; i < 500; i++ {
+		sparse[rng.Intn(total)] += 1
+	}
+	b.Run("sparse-500nnz", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cp := make(map[int]float64, len(sparse))
+			for k, v := range sparse {
+				cp[k] = v
+			}
+			if _, err := Db4.ForwardNDSparse(cp, dims); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		dense := make([]float64, total)
+		for k, v := range sparse {
+			dense[k] = v
+		}
+		work := make([]float64, total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			copy(work, dense)
+			if err := Db4.ForwardND(work, dims); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,293 @@
+// Package repro is a Go implementation of "How to Evaluate Multiple
+// Range-Sum Queries Progressively" (Schmidt & Shahabi, PODS 2002): the
+// Batch-Biggest-B algorithm for exact and progressive evaluation of batches
+// of polynomial range-sum queries over a wavelet-transformed data frequency
+// distribution, with user-supplied structural error penalty functions.
+//
+// The typical flow:
+//
+//	schema, _ := repro.NewSchema([]string{"age", "salary"}, []int{64, 64})
+//	dist := repro.NewDistribution(schema)
+//	dist.AddTuple([]int{33, 55})            // … load data …
+//	db, _ := repro.NewDatabase(dist, repro.Db4)
+//
+//	ranges, _ := repro.RandomPartition(schema, 512, 1)
+//	batch, _ := repro.SumBatch(schema, ranges, "salary")
+//	plan, _ := db.Plan(batch)
+//
+//	run := db.NewRun(plan, repro.SSE())
+//	run.StepN(128)                           // progressive estimates …
+//	_ = run.Estimates()
+//	run.RunToCompletion()                    // … now exact
+//
+// Everything the paper's evaluation exercises is reachable from this
+// package: alternative filters (Haar…Db12), cursored/Laplacian/Lp penalties,
+// non-wavelet linear strategies (prefix sums, identity), incremental tuple
+// updates, round-robin and block-at-a-time progressions, and the moment
+// batches behind range AVERAGE/VARIANCE/COVARIANCE.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/query"
+	"repro/internal/storage"
+	"repro/internal/wavelet"
+)
+
+// Database owns the materialized view Δ̂: the wavelet transform of a data
+// frequency distribution held in constant-access storage, plus the filter
+// that produced it. It is not safe for concurrent use.
+type Database struct {
+	schema  *Schema
+	filter  *Filter
+	store   storage.Updatable
+	tuples  int64
+	windows [][2]float64
+}
+
+// StoreKind selects the physical organization of the coefficient store.
+type StoreKind int
+
+const (
+	// StoreHash keeps only nonzero coefficients in a hash table (default).
+	StoreHash StoreKind = iota
+	// StoreArray keeps the full dense coefficient array.
+	StoreArray
+)
+
+// DatabaseOption configures NewDatabase.
+type DatabaseOption func(*dbConfig)
+
+type dbConfig struct {
+	kind StoreKind
+}
+
+// WithStore selects the coefficient store implementation.
+func WithStore(kind StoreKind) DatabaseOption {
+	return func(c *dbConfig) { c.kind = kind }
+}
+
+// NewDatabase bulk-loads a distribution: one dense separable transform, then
+// the coefficients move into the selected store.
+func NewDatabase(dist *Distribution, filter *Filter, opts ...DatabaseOption) (*Database, error) {
+	if dist == nil || filter == nil {
+		return nil, fmt.Errorf("repro: nil distribution or filter")
+	}
+	cfg := dbConfig{kind: StoreHash}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	hat, err := dist.Transform(filter)
+	if err != nil {
+		return nil, err
+	}
+	var store storage.Updatable
+	switch cfg.kind {
+	case StoreHash:
+		store = storage.NewHashStoreFromDense(hat, 0)
+	case StoreArray:
+		store = storage.NewArrayStore(hat)
+	default:
+		return nil, fmt.Errorf("repro: unknown store kind %d", cfg.kind)
+	}
+	return &Database{schema: dist.Schema, filter: filter, store: store, tuples: dist.TupleCount}, nil
+}
+
+// NewSparseDatabase bulk-loads a sparse distribution without materializing
+// the dense domain — the path for schemas whose cell count dwarfs the
+// record count. Fill-in compounds per dimension (roughly (L·log N)^d per
+// record), so prefer short filters (Haar for COUNT workloads) on
+// high-dimensional huge domains.
+func NewSparseDatabase(dist *SparseDistribution, filter *Filter) (*Database, error) {
+	if dist == nil || filter == nil {
+		return nil, fmt.Errorf("repro: nil distribution or filter")
+	}
+	hat, err := dist.TransformSparse(filter)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewHashStore()
+	for k, v := range hat {
+		store.Add(k, v)
+	}
+	return &Database{schema: dist.Schema, filter: filter, store: store, tuples: dist.TupleCount}, nil
+}
+
+// NewEmptyDatabase creates a database with no tuples, to be populated
+// incrementally with Insert.
+func NewEmptyDatabase(schema *Schema, filter *Filter, opts ...DatabaseOption) (*Database, error) {
+	if schema == nil || filter == nil {
+		return nil, fmt.Errorf("repro: nil schema or filter")
+	}
+	cfg := dbConfig{kind: StoreHash}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var store storage.Updatable
+	switch cfg.kind {
+	case StoreHash:
+		store = storage.NewHashStore()
+	case StoreArray:
+		store = storage.NewArrayStore(make([]float64, schema.Cells()))
+	default:
+		return nil, fmt.Errorf("repro: unknown store kind %d", cfg.kind)
+	}
+	return &Database{schema: schema, filter: filter, store: store}, nil
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *Schema { return db.schema }
+
+// Filter returns the wavelet filter of the stored transform.
+func (db *Database) Filter() *Filter { return db.filter }
+
+// Insert adds one tuple, updating O((L·log N)^d) stored coefficients.
+func (db *Database) Insert(coords []int) error {
+	if err := core.InsertTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
+		return err
+	}
+	db.tuples++
+	return nil
+}
+
+// Delete removes one occurrence of a tuple. The caller is responsible for
+// the tuple actually being present.
+func (db *Database) Delete(coords []int) error {
+	if err := core.DeleteTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
+		return err
+	}
+	db.tuples--
+	return nil
+}
+
+// TupleCount returns the number of tuples the view represents.
+func (db *Database) TupleCount() int64 { return db.tuples }
+
+// SetWindows records the per-attribute quantization windows mapping bins
+// back to raw units (for example from CSV ingestion); they are persisted by
+// Save and surfaced by Windows after LoadDatabase.
+func (db *Database) SetWindows(windows [][2]float64) error {
+	if windows != nil && len(windows) != db.schema.NumDims() {
+		return fmt.Errorf("repro: %d windows for %d attributes", len(windows), db.schema.NumDims())
+	}
+	db.windows = windows
+	return nil
+}
+
+// Windows returns the recorded quantization windows, or nil if none.
+func (db *Database) Windows() [][2]float64 { return db.windows }
+
+// Save serializes the database (schema, filter identity, transformed
+// coefficients) to w in the versioned, checksummed binary format of
+// internal/codec. The stored view can be reopened with LoadDatabase.
+func (db *Database) Save(w io.Writer) error {
+	enum, ok := db.store.(storage.Enumerable)
+	if !ok {
+		return fmt.Errorf("repro: store does not support enumeration")
+	}
+	return codec.Write(w, db.schema, db.filter.Name, db.tuples, enum, db.windows)
+}
+
+// LoadDatabase deserializes a database previously written with Save.
+// The filter is resolved from the built-in set by name.
+func LoadDatabase(r io.Reader) (*Database, error) {
+	snap, err := codec.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	filter, err := wavelet.ByName(snap.FilterName)
+	if err != nil {
+		return nil, fmt.Errorf("repro: stored database uses %w", err)
+	}
+	return &Database{
+		schema:  snap.Schema,
+		filter:  filter,
+		store:   snap.Store(),
+		tuples:  snap.TupleCount,
+		windows: snap.Windows,
+	}, nil
+}
+
+// Retrievals returns the number of coefficient retrievals performed against
+// the store since the last ResetStats — the paper's I/O cost measure.
+func (db *Database) Retrievals() int64 { return db.store.Retrievals() }
+
+// ResetStats zeroes the retrieval counter.
+func (db *Database) ResetStats() { db.store.ResetStats() }
+
+// NonzeroCoefficients returns the size of the stored transform.
+func (db *Database) NonzeroCoefficients() int { return db.store.NonzeroCount() }
+
+// CoefficientMass returns K = Σ_ξ |Δ̂[ξ]|, the constant in the Theorem 1
+// worst-case bound K^α·ι_p(ξ′) reported by Run.WorstCaseBound. Enumerating
+// the store does not count as retrievals.
+func (db *Database) CoefficientMass() float64 {
+	enum, ok := db.store.(storage.Enumerable)
+	if !ok {
+		return 0
+	}
+	var mass float64
+	enum.ForEachNonzero(func(_ int, v float64) bool {
+		if v < 0 {
+			mass -= v
+		} else {
+			mass += v
+		}
+		return true
+	})
+	return mass
+}
+
+// Plan rewrites a batch into its merged master list under the database's
+// filter. The plan is reusable across runs and penalties.
+func (db *Database) Plan(batch Batch) (*Plan, error) {
+	for _, q := range batch {
+		if !q.Schema.Equal(db.schema) {
+			return nil, fmt.Errorf("repro: query schema does not match database schema")
+		}
+	}
+	return core.NewWaveletPlan(batch, db.filter)
+}
+
+// Exact evaluates a plan exactly with one retrieval per distinct
+// coefficient.
+func (db *Database) Exact(plan *Plan) []float64 { return plan.Exact(db.store) }
+
+// NewRun starts a progressive Batch-Biggest-B run under the penalty.
+func (db *Database) NewRun(plan *Plan, pen Penalty) *Run {
+	return core.NewRun(plan, pen, db.store)
+}
+
+// NewRoundRobinRun starts the unshared per-query baseline for the batch
+// (Section 2.2's "s instances of the single query evaluation technique").
+func (db *Database) NewRoundRobinRun(batch Batch) (*RoundRobin, error) {
+	vectors, err := batchVectors(batch, db.filter)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRoundRobin(vectors, db.store)
+}
+
+func batchVectors(batch Batch, f *Filter) ([]sparseVector, error) {
+	vectors := make([]sparseVector, len(batch))
+	for i, q := range batch {
+		v, err := q.Coefficients(f)
+		if err != nil {
+			return nil, err
+		}
+		vectors[i] = v
+	}
+	return vectors, nil
+}
+
+// Ensure facade types line up with the internal engine.
+var (
+	_ = dataset.NewDistribution
+	_ = query.Count
+	_ = wavelet.Haar
+)

@@ -1,0 +1,56 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Session is an analysis session over a database: a sequence of batches
+// (the coarse-synopsis-then-drill-down pattern of the paper's introduction)
+// sharing one retrieval cache, so coefficients fetched for an earlier batch
+// answer later batches for free. Session retrieval counts report only cache
+// misses — the session's true I/O.
+type Session struct {
+	db    *Database
+	store *storage.CachedStore
+}
+
+// NewSession starts a session with the given cache capacity in coefficients
+// (use UnboundedCache to never evict).
+func (db *Database) NewSession(cacheCapacity int) (*Session, error) {
+	cs, err := storage.NewCachedStore(db.store, cacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{db: db, store: cs}, nil
+}
+
+// UnboundedCache is a session cache capacity that never evicts.
+const UnboundedCache = storage.Unbounded
+
+// Plan rewrites a batch under the session's database.
+func (s *Session) Plan(batch Batch) (*Plan, error) { return s.db.Plan(batch) }
+
+// Exact evaluates a plan exactly through the session cache.
+func (s *Session) Exact(plan *Plan) []float64 { return plan.Exact(s.store) }
+
+// NewRun starts a progressive run through the session cache.
+func (s *Session) NewRun(plan *Plan, pen Penalty) *Run {
+	return core.NewRun(plan, pen, s.store)
+}
+
+// Retrievals returns the number of cache misses (real I/O) since the
+// session's last ResetStats.
+func (s *Session) Retrievals() int64 { return s.store.Retrievals() }
+
+// Hits returns the number of retrievals served from the session cache.
+func (s *Session) Hits() int64 { return s.store.Hits() }
+
+// CachedCoefficients returns the current cache population.
+func (s *Session) CachedCoefficients() int { return s.store.Cached() }
+
+// ResetStats zeroes the counters without dropping the cache.
+func (s *Session) ResetStats() { s.store.ResetStats() }
+
+// ClearCache drops every cached coefficient.
+func (s *Session) ClearCache() { s.store.ClearCache() }

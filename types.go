@@ -1,0 +1,238 @@
+package repro
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/penalty"
+	"repro/internal/ql"
+	"repro/internal/query"
+	"repro/internal/sparse"
+	"repro/internal/stats"
+	"repro/internal/wavelet"
+)
+
+// Re-exported core vocabulary. These aliases are the public names of the
+// library's types; the internal packages are an implementation detail.
+type (
+	// Schema describes relation attributes and their power-of-two domains.
+	Schema = dataset.Schema
+	// Distribution is the data frequency distribution Δ.
+	Distribution = dataset.Distribution
+	// Range is an inclusive hyper-rectangle in the schema domain.
+	Range = query.Range
+	// Query is a polynomial range-sum (vector query).
+	Query = query.Query
+	// Batch is an ordered set of queries evaluated together.
+	Batch = query.Batch
+	// Term is one monomial of a query polynomial.
+	Term = query.Term
+	// Filter is an orthonormal Daubechies filter bank.
+	Filter = wavelet.Filter
+	// Penalty is a structural error penalty function (Definition 2).
+	Penalty = penalty.Penalty
+	// Plan is a merged master list for a batch.
+	Plan = core.Plan
+	// Run is a progressive Batch-Biggest-B execution.
+	Run = core.Run
+	// RoundRobin is the unshared per-query baseline progression.
+	RoundRobin = core.RoundRobin
+	// MomentSet derives AVERAGE/VARIANCE/COVARIANCE from moment batches.
+	MomentSet = stats.MomentSet
+	// TemperatureConfig parameterizes the synthetic temperature dataset.
+	TemperatureConfig = dataset.TemperatureConfig
+	// SparseDistribution is Δ in sparse form for huge domains.
+	SparseDistribution = dataset.SparseDistribution
+)
+
+type sparseVector = sparse.Vector
+
+// Built-in filters, named by tap count as in the paper ("Db4 wavelets").
+var (
+	Haar = wavelet.Haar
+	Db4  = wavelet.Db4
+	Db6  = wavelet.Db6
+	Db8  = wavelet.Db8
+	Db10 = wavelet.Db10
+	Db12 = wavelet.Db12
+)
+
+// NewSchema creates a schema; every domain size must be a power of two.
+func NewSchema(names []string, sizes []int) (*Schema, error) {
+	return dataset.NewSchema(names, sizes)
+}
+
+// NewDistribution returns an empty data frequency distribution.
+func NewDistribution(schema *Schema) *Distribution {
+	return dataset.NewDistribution(schema)
+}
+
+// NewSparseDistribution returns an empty sparse distribution for domains too
+// large to hold densely.
+func NewSparseDistribution(schema *Schema) *SparseDistribution {
+	return dataset.NewSparseDistribution(schema)
+}
+
+// TemperatureSparse generates the synthetic temperature dataset into a
+// sparse distribution.
+func TemperatureSparse(cfg TemperatureConfig) (*SparseDistribution, error) {
+	return dataset.TemperatureSparse(cfg)
+}
+
+// FilterForDegree returns the shortest built-in filter able to sparsely
+// rewrite polynomial range-sums of the given degree (length 2δ+2).
+func FilterForDegree(degree int) (*Filter, error) { return wavelet.ForDegree(degree) }
+
+// FilterByName looks up a built-in filter ("Haar", "Db4", …, "Db12").
+func FilterByName(name string) (*Filter, error) { return wavelet.ByName(name) }
+
+// NewRange validates per-dimension inclusive bounds against the schema.
+func NewRange(schema *Schema, lo, hi []int) (Range, error) {
+	return query.NewRange(schema, lo, hi)
+}
+
+// FullDomain returns the range covering the whole domain.
+func FullDomain(schema *Schema) Range { return query.FullDomain(schema) }
+
+// CountQuery builds the range COUNT query.
+func CountQuery(schema *Schema, r Range) *Query { return query.Count(schema, r) }
+
+// SumQuery builds the range SUM query over an attribute.
+func SumQuery(schema *Schema, r Range, attr string) (*Query, error) {
+	return query.Sum(schema, r, attr)
+}
+
+// SumSquaresQuery builds the range Σ x_attr² query.
+func SumSquaresQuery(schema *Schema, r Range, attr string) (*Query, error) {
+	return query.SumSquares(schema, r, attr)
+}
+
+// SumProductQuery builds the range Σ x_i·x_j query.
+func SumProductQuery(schema *Schema, r Range, attrI, attrJ string) (*Query, error) {
+	return query.SumProduct(schema, r, attrI, attrJ)
+}
+
+// RandomPartition splits the domain into count disjoint covering ranges —
+// the paper's evaluation workload shape.
+func RandomPartition(schema *Schema, count int, seed int64) ([]Range, error) {
+	return query.RandomPartition(schema, count, seed)
+}
+
+// GridPartition splits the domain into a regular grid.
+func GridPartition(schema *Schema, cellsPerDim []int) ([]Range, error) {
+	return query.GridPartition(schema, cellsPerDim)
+}
+
+// SumBatch builds one SUM(attr) query per range.
+func SumBatch(schema *Schema, ranges []Range, attr string) (Batch, error) {
+	return query.SumBatch(schema, ranges, attr)
+}
+
+// CountBatch builds one COUNT query per range.
+func CountBatch(schema *Schema, ranges []Range) Batch {
+	return query.CountBatch(schema, ranges)
+}
+
+// NewMomentSet builds the moment batch behind range AVERAGE, VARIANCE and
+// (optionally) COVARIANCE for the given ranges and attributes.
+func NewMomentSet(schema *Schema, ranges []Range, attrs []string, withCovariance bool) (*MomentSet, error) {
+	return stats.NewMomentSet(schema, ranges, attrs, withCovariance)
+}
+
+// ParseQuery parses one statement of the textual query language, e.g.
+// "SUM(salary) WHERE age BETWEEN 25 AND 40 AND dept = 3".
+func ParseQuery(schema *Schema, src string) (*Query, error) {
+	return ql.Parse(schema, src)
+}
+
+// ParseBatch parses a ';'-separated list of statements into a batch.
+func ParseBatch(schema *Schema, src string) (Batch, error) {
+	return ql.ParseBatch(schema, src)
+}
+
+// FormatQuery renders a query back into the textual language (inverse of
+// ParseQuery for the canonical aggregate shapes).
+func FormatQuery(q *Query) (string, error) { return ql.Format(q) }
+
+// FormatBatch renders a batch as ';'-separated statements.
+func FormatBatch(b Batch) (string, error) { return ql.FormatBatch(b) }
+
+// SSE returns the sum-of-squared-errors penalty.
+func SSE() Penalty { return penalty.SSE{} }
+
+// WeightedSSE returns Σ w_i·e_i² with non-negative weights.
+func WeightedSSE(weights []float64) (Penalty, error) { return penalty.NewWeighted(weights) }
+
+// CursoredSSE weights the cursor positions hiWeight times the rest — the
+// "results near the cursor matter more" penalty of Section 4.
+func CursoredSSE(batchSize int, cursor []int, hiWeight float64) (Penalty, error) {
+	return penalty.Cursored(batchSize, cursor, hiWeight)
+}
+
+// LaplacianSSE penalizes errors in the discrete Laplacian of a query chain,
+// protecting local-extrema detection.
+func LaplacianSSE(batchSize int) (Penalty, error) { return penalty.NewLaplacian(batchSize) }
+
+// GridLaplacianSSE is LaplacianSSE for queries arranged in a grid.
+func GridLaplacianSSE(shape []int) (Penalty, error) { return penalty.NewGridLaplacian(shape) }
+
+// FirstDifferenceSSE penalizes errors in consecutive differences — the
+// "temporal surprise" penalty.
+func FirstDifferenceSSE(batchSize int) (Penalty, error) {
+	return penalty.NewFirstDifference(batchSize)
+}
+
+// Sobolev returns the discrete H¹ penalty Σe² + λ·Σ(Δe)², penalizing both
+// the magnitude and the roughness of the error (Definition 2 names Sobolev
+// norms among the admissible penalties).
+func Sobolev(batchSize int, lambda float64) (Penalty, error) {
+	return penalty.NewSobolev(batchSize, lambda)
+}
+
+// LpNorm returns the ‖·‖_p penalty for 1 ≤ p ≤ ∞.
+func LpNorm(p float64) (Penalty, error) { return penalty.NewLpNorm(p) }
+
+// LinfNorm returns the max-norm penalty.
+func LinfNorm() Penalty {
+	p, err := penalty.NewLpNorm(math.Inf(1))
+	if err != nil {
+		panic(err) // unreachable: ∞ ≥ 1
+	}
+	return p
+}
+
+// QuadraticPenalty wraps an arbitrary symmetric PSD matrix as a penalty —
+// "the structural error penalty function could be part of a query submitted
+// to an approximate query answering system" (Section 1).
+func QuadraticPenalty(a [][]float64) (Penalty, error) { return penalty.NewQuadraticForm(a) }
+
+// CombinePenalties mixes same-homogeneity penalties with non-negative
+// weights.
+func CombinePenalties(weights []float64, parts []Penalty) (Penalty, error) {
+	return penalty.NewCombo(weights, parts)
+}
+
+// Temperature generates the synthetic global-temperature dataset standing in
+// for the paper's JPL data (see DESIGN.md).
+func Temperature(cfg TemperatureConfig) (*Distribution, error) {
+	return dataset.Temperature(cfg)
+}
+
+// DefaultTemperatureConfig is a laptop-scale temperature configuration.
+func DefaultTemperatureConfig() TemperatureConfig { return dataset.DefaultTemperatureConfig() }
+
+// UniformData generates records uniformly over the schema domain.
+func UniformData(schema *Schema, records int, seed int64) *Distribution {
+	return dataset.Uniform(schema, records, seed)
+}
+
+// ZipfData generates per-dimension Zipf-skewed records (exponent s > 1).
+func ZipfData(schema *Schema, records int, s float64, seed int64) (*Distribution, error) {
+	return dataset.Zipf(schema, records, s, seed)
+}
+
+// ClusteredData generates records from k Gaussian clusters.
+func ClusteredData(schema *Schema, records, k int, sigmaFrac float64, seed int64) (*Distribution, error) {
+	return dataset.GaussianClusters(schema, records, k, sigmaFrac, seed)
+}
