@@ -1,0 +1,33 @@
+# Development targets. `make check` is the gate: vet + build + race-enabled
+# tests. `make bench` runs the parallel-engine benchmarks at a fixed iteration
+# count (numbers recorded in BENCH_parallel.json).
+
+GO ?= go
+
+.PHONY: all check vet build test race bench bench-all
+
+all: check
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Parallel-engine benchmarks: plan construction, exact evaluation, batched
+# stepping, store contention.
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkPlanParallel|BenchmarkExactParallel|BenchmarkStepBatch' -benchtime=100x ./internal/core/
+	$(GO) test -run NONE -bench 'BenchmarkConcurrentStore' -benchtime=100x ./internal/storage/
+
+# Full benchmark suite, including the paper figure/table regenerators.
+bench-all:
+	$(GO) test -run NONE -bench . -benchtime=100x ./...

@@ -13,7 +13,7 @@ package core
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"sync"
 
 	"repro/internal/penalty"
 	"repro/internal/query"
@@ -39,11 +39,34 @@ type Plan struct {
 	// totalQueryCoefficients is the sum of per-query nonzero counts — the
 	// number of retrievals an unshared per-query evaluation would need.
 	totalQueryCoefficients int
+
+	// evalOnce guards the lazily-built ExactParallel indexes: the flat
+	// master key list and the per-query inverted entry lists (parallel.go).
+	evalOnce sync.Once
+	keys     []int
+	byQuery  [][]qref
+
+	// idxOnce guards the lazily-built per-entry []int views of QueryIdx
+	// handed to penalty.Penalty.Importance, so the int32→int conversion
+	// happens once per plan instead of once per entry per run.
+	idxOnce  sync.Once
+	entryIdx [][]int
 }
 
 // NewPlan merges the per-query sparse coefficient vectors into a master
 // list. labels may be nil; otherwise it must have one label per vector.
+// Construction parallelizes across GOMAXPROCS workers (see NewPlanParallel)
+// and is deterministic: the resulting plan is identical however many workers
+// run.
 func NewPlan(vectors []sparse.Vector, labels []string) (*Plan, error) {
+	return NewPlanParallel(vectors, labels, 0)
+}
+
+// NewPlanParallel is NewPlan with an explicit worker count (≤0 selects
+// GOMAXPROCS). Workers merge disjoint query blocks into key-hash-sharded
+// maps which are then merged concurrently; the result is entry-for-entry
+// identical to the single-worker merge.
+func NewPlanParallel(vectors []sparse.Vector, labels []string, workers int) (*Plan, error) {
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -56,39 +79,31 @@ func NewPlan(vectors []sparse.Vector, labels []string) (*Plan, error) {
 			labels[i] = fmt.Sprintf("q%d", i)
 		}
 	}
-	merged := make(map[int]*Entry)
-	total := 0
-	for qi, vec := range vectors {
-		total += len(vec)
-		for key, c := range vec {
-			e, ok := merged[key]
-			if !ok {
-				e = &Entry{Key: key}
-				merged[key] = e
-			}
-			e.QueryIdx = append(e.QueryIdx, int32(qi))
-			e.Coeffs = append(e.Coeffs, c)
+	gen := func(qi int, emit func(key int, c float64)) error {
+		for key, c := range vectors[qi] {
+			emit(key, c)
 		}
+		return nil
 	}
-	entries := make([]Entry, 0, len(merged))
-	for _, e := range merged {
-		entries = append(entries, *e)
-	}
-	// Deterministic base order.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	return &Plan{
-		Labels:                 append([]string(nil), labels...),
-		entries:                entries,
-		totalQueryCoefficients: total,
-	}, nil
+	return buildPlanParallel(len(vectors), labels, gen, workers)
 }
 
 // NewWaveletPlan rewrites every query in the batch under the filter and
 // merges the results — the standard wavelet instantiation. It returns an
 // error if the filter lacks the vanishing moments for the batch degree,
 // because that would silently destroy the sparsity the algorithm is built
-// around (use NewPlan directly to opt into dense rewritings).
+// around (use NewPlan directly to opt into dense rewritings). Rewriting
+// parallelizes across GOMAXPROCS workers (see NewWaveletPlanParallel) and is
+// deterministic.
 func NewWaveletPlan(batch query.Batch, f *wavelet.Filter) (*Plan, error) {
+	return NewWaveletPlanParallel(batch, f, 0)
+}
+
+// NewWaveletPlanParallel is NewWaveletPlan with an explicit worker count
+// (≤0 selects GOMAXPROCS). Query rewriting — the expensive part of planning
+// — runs on a pool of workers over disjoint query blocks; the sharded merge
+// preserves the exact entry and QueryIdx order of the sequential build.
+func NewWaveletPlanParallel(batch query.Batch, f *wavelet.Filter, workers int) (*Plan, error) {
 	if err := batch.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,36 +111,17 @@ func NewWaveletPlan(batch query.Batch, f *wavelet.Filter) (*Plan, error) {
 		return nil, fmt.Errorf("core: filter %s (%d vanishing moments) cannot sparsely rewrite degree-%d queries; need filter length ≥ %d",
 			f.Name, f.VanishingMoments(), deg, 2*deg+2)
 	}
-	merged := make(map[int]*Entry)
-	total := 0
 	labels := make([]string, len(batch))
 	for i, q := range batch {
 		labels[i] = q.Label
-		qi := int32(i)
-		err := q.CoefficientsFunc(f, func(key int, c float64) {
-			total++
-			e, ok := merged[key]
-			if !ok {
-				e = &Entry{Key: key}
-				merged[key] = e
-			}
-			e.QueryIdx = append(e.QueryIdx, qi)
-			e.Coeffs = append(e.Coeffs, c)
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: query %d: %w", i, err)
+	}
+	gen := func(qi int, emit func(key int, c float64)) error {
+		if err := batch[qi].CoefficientsFunc(f, emit); err != nil {
+			return fmt.Errorf("core: query %d: %w", qi, err)
 		}
+		return nil
 	}
-	entries := make([]Entry, 0, len(merged))
-	for _, e := range merged {
-		entries = append(entries, *e)
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	return &Plan{
-		Labels:                 labels,
-		entries:                entries,
-		totalQueryCoefficients: total,
-	}, nil
+	return buildPlanParallel(len(batch), labels, gen, workers)
 }
 
 // NumQueries returns the batch size.
@@ -158,17 +154,33 @@ func (p *Plan) ForEachEntry(fn func(key int, queryIdx []int32, coeffs []float64)
 	}
 }
 
+// buildEntryIdx lazily materializes each entry's QueryIdx as []int (the
+// type penalty.Penalty.Importance takes) in one backing array, so the
+// int32→int conversion is paid once per plan rather than re-done for every
+// entry of every run.
+func (p *Plan) buildEntryIdx() {
+	p.idxOnce.Do(func() {
+		backing := make([]int, p.totalQueryCoefficients)
+		p.entryIdx = make([][]int, len(p.entries))
+		off := 0
+		for i := range p.entries {
+			e := &p.entries[i]
+			s := backing[off : off+len(e.QueryIdx)]
+			for k, qi := range e.QueryIdx {
+				s[k] = int(qi)
+			}
+			p.entryIdx[i] = s
+			off += len(e.QueryIdx)
+		}
+	})
+}
+
 // Importances computes ι_p for every master-list entry under the penalty.
 func (p *Plan) Importances(pen penalty.Penalty) []float64 {
+	p.buildEntryIdx()
 	out := make([]float64, len(p.entries))
-	idxBuf := make([]int, 0, 16)
 	for i := range p.entries {
-		e := &p.entries[i]
-		idxBuf = idxBuf[:0]
-		for _, qi := range e.QueryIdx {
-			idxBuf = append(idxBuf, int(qi))
-		}
-		out[i] = pen.Importance(idxBuf, e.Coeffs)
+		out[i] = pen.Importance(p.entryIdx[i], p.entries[i].Coeffs)
 	}
 	return out
 }

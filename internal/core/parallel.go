@@ -1,0 +1,362 @@
+package core
+
+import (
+	"container/heap"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// This file is the parallel evaluation engine: worker-pool plan
+// construction, batched/parallel exact evaluation, and batched progressive
+// steps. Every parallel path is constructed to produce results
+// *bit-identical* to its sequential counterpart (same floating-point
+// operations in the same order), so callers can switch freely between them —
+// the determinism tests in parallel_test.go pin this down.
+
+// emitter produces the (key, coefficient) pairs of query qi. Emissions for
+// one query must not repeat a key (the rewriters guarantee this).
+type emitter func(qi int, emit func(key int, c float64)) error
+
+// clampWorkers resolves a worker-count request: ≤0 selects GOMAXPROCS, and
+// the count never exceeds the number of work items.
+func clampWorkers(workers, items int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// shardKeyHash spreads the structured key patterns of wavelet master lists
+// (runs, strided levels) across shards (Fibonacci multiplicative hashing).
+const shardKeyHash = 0x9E3779B97F4A7C15
+
+// buildPlanParallel merges per-query coefficient emissions into a master
+// list using a worker pool. Workers own contiguous query blocks and write
+// into per-worker key-hash-sharded maps; shards are then merged concurrently
+// (worker order preserves ascending QueryIdx) and the entries sorted into
+// the canonical ascending-key order. The result is entry-for-entry identical
+// to the single-threaded merge.
+func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan, error) {
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		return buildPlanSeq(n, labels, gen)
+	}
+
+	nShards := nextPow2(4 * workers)
+	shift := 64 - log2(uint64(nShards))
+	shardOf := func(key int) int { return int((uint64(key) * shardKeyHash) >> shift) }
+
+	type shardMap map[int]*Entry
+	locals := make([][]shardMap, workers)
+	totals := make([]int, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			maps := make([]shardMap, nShards)
+			for s := range maps {
+				maps[s] = make(shardMap)
+			}
+			locals[w] = maps
+			for qi := lo; qi < hi; qi++ {
+				qi32 := int32(qi)
+				err := gen(qi, func(key int, c float64) {
+					totals[w]++
+					m := maps[shardOf(key)]
+					e, ok := m[key]
+					if !ok {
+						e = &Entry{Key: key}
+						m[key] = e
+					}
+					e.QueryIdx = append(e.QueryIdx, qi32)
+					e.Coeffs = append(e.Coeffs, c)
+				})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Workers hold contiguous ascending query blocks and stop at their first
+	// failing query, so the lowest-indexed worker error is exactly the error
+	// the sequential merge would have returned.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Merge each shard's per-worker maps, workers pulling shard indices from
+	// an atomic cursor. Appending worker 0's pairs first, then worker 1's,
+	// … keeps every entry's QueryIdx ascending, matching the sequential
+	// query-order append.
+	shardEntries := make([][]*Entry, nShards)
+	var cursor atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(cursor.Add(1)) - 1
+				if s >= nShards {
+					return
+				}
+				merged := locals[0][s]
+				for w2 := 1; w2 < workers; w2++ {
+					for key, e := range locals[w2][s] {
+						dst, ok := merged[key]
+						if !ok {
+							merged[key] = e
+							continue
+						}
+						dst.QueryIdx = append(dst.QueryIdx, e.QueryIdx...)
+						dst.Coeffs = append(dst.Coeffs, e.Coeffs...)
+					}
+				}
+				out := make([]*Entry, 0, len(merged))
+				for _, e := range merged {
+					out = append(out, e)
+				}
+				shardEntries[s] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	total, count := 0, 0
+	for _, t := range totals {
+		total += t
+	}
+	for _, se := range shardEntries {
+		count += len(se)
+	}
+	entries := make([]Entry, 0, count)
+	for _, se := range shardEntries {
+		for _, e := range se {
+			entries = append(entries, *e)
+		}
+	}
+	// Canonical deterministic base order (keys are distinct across shards).
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return &Plan{
+		Labels:                 append([]string(nil), labels...),
+		entries:                entries,
+		totalQueryCoefficients: total,
+	}, nil
+}
+
+// buildPlanSeq is the single-threaded merge (steps 2–3 of Batch-Biggest-B).
+func buildPlanSeq(n int, labels []string, gen emitter) (*Plan, error) {
+	merged := make(map[int]*Entry)
+	total := 0
+	for qi := 0; qi < n; qi++ {
+		qi32 := int32(qi)
+		err := gen(qi, func(key int, c float64) {
+			total++
+			e, ok := merged[key]
+			if !ok {
+				e = &Entry{Key: key}
+				merged[key] = e
+			}
+			e.QueryIdx = append(e.QueryIdx, qi32)
+			e.Coeffs = append(e.Coeffs, c)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	entries := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	return &Plan{
+		Labels:                 append([]string(nil), labels...),
+		entries:                entries,
+		totalQueryCoefficients: total,
+	}, nil
+}
+
+// qref is one element of a query's inverted coefficient list: the master
+// list entry holding the coefficient, in ascending entry order.
+type qref struct {
+	entry int32
+	coeff float64
+}
+
+// buildEvalIndex lazily builds the retrieval/apply indexes shared by every
+// ExactParallel call on this plan: the flat master key list (fetch phase)
+// and per-query inverted entry lists (apply phase). One backing array keeps
+// the inverted lists allocation-cheap.
+func (p *Plan) buildEvalIndex() {
+	p.evalOnce.Do(func() {
+		p.keys = make([]int, len(p.entries))
+		counts := make([]int, p.NumQueries())
+		for i := range p.entries {
+			p.keys[i] = p.entries[i].Key
+			for _, qi := range p.entries[i].QueryIdx {
+				counts[qi]++
+			}
+		}
+		totalRefs := 0
+		for _, c := range counts {
+			totalRefs += c
+		}
+		backing := make([]qref, totalRefs)
+		p.byQuery = make([][]qref, p.NumQueries())
+		off := 0
+		for qi, c := range counts {
+			p.byQuery[qi] = backing[off : off : off+c]
+			off += c
+		}
+		for i := range p.entries {
+			e := &p.entries[i]
+			for k, qi := range e.QueryIdx {
+				p.byQuery[qi] = append(p.byQuery[qi], qref{entry: int32(i), coeff: e.Coeffs[k]})
+			}
+		}
+	})
+}
+
+// ExactParallel evaluates the batch exactly with the same retrieval count
+// and bit-identical results to Exact, but split into a batched fetch phase
+// and a per-query apply phase that both use up to the given number of
+// workers (≤0 selects GOMAXPROCS).
+//
+// The fetch phase issues chunked GetBatch calls — concurrently when the
+// store is marked storage.Concurrent, as one batch otherwise (still hitting
+// the store's batched fast path, e.g. FileStore's coalesced reads). The
+// apply phase partitions *queries* across workers, so each query's estimate
+// is accumulated by exactly one worker in ascending master-list order —
+// precisely the floating-point operation sequence of the sequential pass,
+// which is what makes the results bit-identical rather than merely close.
+func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
+	est := make([]float64, p.NumQueries())
+	n := len(p.entries)
+	if n == 0 {
+		return est
+	}
+	workers = clampWorkers(workers, n)
+	p.buildEvalIndex()
+	vals := make([]float64, n)
+
+	if cs, ok := store.(storage.Concurrent); ok && workers > 1 {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				storage.BatchGet(cs, p.keys[lo:hi], vals[lo:hi])
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		storage.BatchGet(store, p.keys, vals)
+	}
+
+	apply := func(qlo, qhi int) {
+		for qi := qlo; qi < qhi; qi++ {
+			var sum float64
+			for _, r := range p.byQuery[qi] {
+				v := vals[r.entry]
+				if v == 0 {
+					continue
+				}
+				sum += r.coeff * v
+			}
+			est[qi] = sum
+		}
+	}
+	nq := p.NumQueries()
+	aw := clampWorkers(workers, nq)
+	if aw == 1 {
+		apply(0, nq)
+		return est
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < aw; w++ {
+		lo, hi := w*nq/aw, (w+1)*nq/aw
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			apply(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return est
+}
+
+// StepBatch pops up to b entries from the importance heap, fetches their
+// coefficients in one batched retrieval, and applies them in pop order. It
+// returns the number of entries advanced (0 when the run is complete). The
+// estimates after StepBatch(b) are bit-identical to b successive Step calls;
+// what changes is the storage traffic: one GetBatch — one lock round-trip on
+// a concurrent store, coalesced reads on a file store — instead of b Gets.
+func (r *Run) StepBatch(b int) int {
+	if b > r.heap.Len() {
+		b = r.heap.Len()
+	}
+	if b <= 0 {
+		return 0
+	}
+	idxs := make([]int, b)
+	keys := make([]int, b)
+	for j := 0; j < b; j++ {
+		i := heap.Pop(r.heap).(int)
+		idxs[j] = i
+		keys[j] = r.plan.entries[i].Key
+		r.remainingImportance -= r.importances[i]
+		r.popped[i] = true
+	}
+	vals := make([]float64, b)
+	storage.BatchGet(r.store, keys, vals)
+	r.retrieved += b
+	for j, i := range idxs {
+		v := vals[j]
+		if v == 0 {
+			continue
+		}
+		e := &r.plan.entries[i]
+		for k, qi := range e.QueryIdx {
+			r.estimates[qi] += e.Coeffs[k] * v
+		}
+	}
+	return b
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n uint64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -14,17 +14,36 @@ import (
 	"repro"
 )
 
-// Handler serves queries against one database. Requests are serialized with
-// a mutex: the engine itself is single-threaded per run, and the underlying
-// store counters are not concurrent. (Throughput-oriented deployments would
-// shard databases per worker.)
+// Handler serves queries against one database. When the database's store is
+// concurrent-safe (repro.StoreSharded), query requests run fully in
+// parallel: every request owns its plan and run, and the sharded store
+// serves the batched retrievals without a global lock. For single-threaded
+// stores requests are serialized with a mutex, the original deployment
+// shape.
 type Handler struct {
-	mu sync.Mutex
-	db *repro.Database
+	mu       sync.Mutex
+	db       *repro.Database
+	parallel bool
 }
 
 // New wraps a database in an HTTP handler.
-func New(db *repro.Database) *Handler { return &Handler{db: db} }
+func New(db *repro.Database) *Handler {
+	return &Handler{db: db, parallel: db.ConcurrentSafe()}
+}
+
+// lock serializes requests only when the store requires it; the returned
+// function undoes whatever was taken.
+func (h *Handler) lock() func() {
+	if h.parallel {
+		return func() {}
+	}
+	h.mu.Lock()
+	return h.mu.Unlock
+}
+
+// stepBatchSize caps how many heap entries one batched retrieval covers, so
+// huge budgets do not allocate unbounded key/value scratch.
+const stepBatchSize = 1024
 
 // QueryRequest is the POST /query body.
 type QueryRequest struct {
@@ -80,7 +99,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) stats(w http.ResponseWriter) {
-	h.mu.Lock()
+	unlock := h.lock()
 	resp := StatsResponse{
 		Tuples:       h.db.TupleCount(),
 		Coefficients: h.db.NonzeroCoefficients(),
@@ -90,7 +109,7 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		Windows:      h.db.Windows(),
 		Retrievals:   h.db.Retrievals(),
 	}
-	h.mu.Unlock()
+	unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -106,8 +125,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: negative budget", http.StatusBadRequest)
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	defer h.lock()()
 
 	batch, err := repro.ParseBatch(h.db.Schema(), req.Statements)
 	if err != nil {
@@ -121,10 +139,22 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	run := h.db.NewRun(plan, repro.SSE())
 	exact := req.Budget <= 0 || req.Budget >= plan.DistinctCoefficients()
+	budget := req.Budget
 	if exact {
-		run.RunToCompletion()
-	} else {
-		run.StepN(req.Budget)
+		budget = plan.DistinctCoefficients()
+	}
+	// Advance in batched steps: each StepBatch issues one GetBatch — one
+	// lock round-trip on a sharded store — while staying bit-identical to
+	// stepping one retrieval at a time.
+	for budget > 0 {
+		n := budget
+		if n > stepBatchSize {
+			n = stepBatchSize
+		}
+		if run.StepBatch(n) == 0 {
+			break
+		}
+		budget -= n
 	}
 	resp := QueryResponse{
 		Exact:     run.Done(),

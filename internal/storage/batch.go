@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BatchGetter is implemented by stores that can serve many coefficient
+// retrievals in one call. Batching preserves the paper's cost model — every
+// requested key still counts as one retrieval — but lets implementations
+// amortize per-call overhead: one lock round-trip instead of one per key
+// (ConcurrentStore, ShardedStore), one coalesced positioned read instead of
+// one syscall per key (FileStore), one cache pass instead of per-key
+// bookkeeping (CachedStore).
+type BatchGetter interface {
+	// GetBatch stores the coefficient for keys[i] into dst[i], counting
+	// len(keys) retrievals. dst must have the same length as keys. Keys may
+	// repeat and appear in any order.
+	GetBatch(keys []int, dst []float64)
+}
+
+// BatchGet retrieves every key through the store's BatchGetter fast path
+// when it has one, falling back to one Get per key otherwise. dst must have
+// the same length as keys.
+func BatchGet(s Store, keys []int, dst []float64) {
+	if len(keys) != len(dst) {
+		panic("storage: BatchGet keys/dst length mismatch")
+	}
+	if bg, ok := s.(BatchGetter); ok {
+		bg.GetBatch(keys, dst)
+		return
+	}
+	for i, k := range keys {
+		dst[i] = s.Get(k)
+	}
+}
+
+// GetBatch implements BatchGetter with one counter update for the batch.
+func (s *ArrayStore) GetBatch(keys []int, dst []float64) {
+	s.retrievals += int64(len(keys))
+	for i, k := range keys {
+		if k < 0 || k >= len(s.cells) {
+			panic(batchRangeError(k, len(s.cells)))
+		}
+		dst[i] = s.cells[k]
+	}
+}
+
+// GetBatch implements BatchGetter.
+func (s *HashStore) GetBatch(keys []int, dst []float64) {
+	s.retrievals += int64(len(keys))
+	for i, k := range keys {
+		dst[i] = s.cells[k]
+	}
+}
+
+// GetBatch implements BatchGetter: cache hits are served in place, the
+// misses (deduplicated) go to the wrapped store in one batch and are
+// inserted into the cache. Counting matches the per-key path: every key
+// served from cache counts a hit, every distinct miss reaches the wrapped
+// store. (With a bounded cache under eviction pressure the hit/miss split
+// can differ marginally from issuing the same keys one Get at a time,
+// because insertions happen after the whole batch is classified.)
+func (s *CachedStore) GetBatch(keys []int, dst []float64) {
+	if s.capacity == 0 {
+		// Caching disabled: forward the whole batch.
+		BatchGet(s.inner, keys, dst)
+		return
+	}
+	var missKeys []int
+	missAt := make(map[int]int) // key → index into missKeys
+	for i, k := range keys {
+		if el, ok := s.index[k]; ok {
+			s.hits++
+			s.lru.MoveToFront(el)
+			dst[i] = el.Value.(cachedCell).val
+			continue
+		}
+		if _, ok := missAt[k]; ok {
+			// Duplicate miss within the batch: fetched once, the repeat is a
+			// hit, mirroring the sequential fetch-then-hit behaviour. The
+			// value is filled in by the final pass below.
+			s.hits++
+			continue
+		}
+		missAt[k] = len(missKeys)
+		missKeys = append(missKeys, k)
+	}
+	if len(missKeys) == 0 {
+		return
+	}
+	missVals := make([]float64, len(missKeys))
+	BatchGet(s.inner, missKeys, missVals)
+	for j, k := range missKeys {
+		if s.lru.Len() >= s.capacity {
+			oldest := s.lru.Back()
+			delete(s.index, oldest.Value.(cachedCell).key)
+			s.lru.Remove(oldest)
+		}
+		s.index[k] = s.lru.PushFront(cachedCell{key: k, val: missVals[j]})
+	}
+	for i, k := range keys {
+		if j, ok := missAt[k]; ok {
+			dst[i] = missVals[j]
+		}
+	}
+}
+
+// fileStoreMaxGap is the largest key gap (in cells) GetBatch will read
+// through to keep one coalesced positioned read going: reading 8·gap wasted
+// bytes is cheaper than a second syscall.
+const fileStoreMaxGap = 64
+
+// GetBatch implements BatchGetter by sorting the requested keys and
+// coalescing consecutive (or near-consecutive) runs into single positioned
+// reads, cutting the syscall count from len(keys) to the number of runs.
+func (s *FileStore) GetBatch(keys []int, dst []float64) {
+	s.retrievals += int64(len(keys))
+	order := make([]int, len(keys))
+	for i := range order {
+		if k := keys[i]; k < 0 || k >= s.n {
+			panic(batchRangeError(k, s.n))
+		}
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	var buf []byte
+	for lo := 0; lo < len(order); {
+		hi := lo + 1
+		for hi < len(order) && keys[order[hi]]-keys[order[hi-1]] <= fileStoreMaxGap {
+			hi++
+		}
+		first, last := keys[order[lo]], keys[order[hi-1]]
+		span := last - first + 1
+		if cap(buf) < span*8 {
+			buf = make([]byte, span*8)
+		}
+		b := buf[:span*8]
+		if _, err := s.f.ReadAt(b, s.offset(first)); err != nil {
+			panic(batchReadError(first, last, err))
+		}
+		for _, i := range order[lo:hi] {
+			dst[i] = cellAt(b, keys[i]-first)
+		}
+		lo = hi
+	}
+}
+
+// GetBatch implements BatchGetter: the wrapped store is consulted under a
+// single lock acquisition instead of one per key.
+func (s *ConcurrentStore) GetBatch(keys []int, dst []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	BatchGet(s.inner, keys, dst)
+}
+
+func batchRangeError(key, n int) string {
+	return fmt.Sprintf("storage: key %d out of range [0,%d)", key, n)
+}
+
+func batchReadError(first, last int, err error) string {
+	return fmt.Sprintf("storage: reading coefficients [%d,%d]: %v", first, last, err)
+}
+
+// cellAt decodes the little-endian float64 at cell index i of a coalesced
+// read buffer.
+func cellAt(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8 : i*8+8]))
+}
+
+var (
+	_ BatchGetter = (*ArrayStore)(nil)
+	_ BatchGetter = (*HashStore)(nil)
+	_ BatchGetter = (*CachedStore)(nil)
+	_ BatchGetter = (*FileStore)(nil)
+	_ BatchGetter = (*ConcurrentStore)(nil)
+)

@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// batchCells is a small coefficient array with zeros mixed in.
+func batchCells() []float64 {
+	cells := make([]float64, 300)
+	for i := range cells {
+		if i%3 != 0 {
+			cells[i] = float64(i) * 0.5
+		}
+	}
+	return cells
+}
+
+// keysScrambled exercises unsorted input, duplicates, and key gaps larger
+// than the FileStore coalescing window.
+func keysScrambled() []int {
+	return []int{299, 0, 17, 17, 120, 121, 122, 5, 250, 1, 299, 60}
+}
+
+func checkBatch(t *testing.T, name string, s Store, cells []float64) {
+	t.Helper()
+	keys := keysScrambled()
+	dst := make([]float64, len(keys))
+	BatchGet(s, keys, dst)
+	for i, k := range keys {
+		if dst[i] != cells[k] {
+			t.Errorf("%s: dst[%d] (key %d) = %g, want %g", name, i, k, dst[i], cells[k])
+		}
+	}
+	if got := s.Retrievals(); got != int64(len(keys)) {
+		t.Errorf("%s: retrievals = %d, want %d", name, got, len(keys))
+	}
+}
+
+func TestGetBatchStores(t *testing.T) {
+	cells := batchCells()
+
+	t.Run("ArrayStore", func(t *testing.T) {
+		checkBatch(t, "array", NewArrayStore(cells), cells)
+	})
+	t.Run("HashStore", func(t *testing.T) {
+		checkBatch(t, "hash", NewHashStoreFromDense(cells, 0), cells)
+	})
+	t.Run("ShardedStore", func(t *testing.T) {
+		checkBatch(t, "sharded", NewShardedStoreFromDense(cells, 0, 8), cells)
+	})
+	t.Run("ConcurrentStore", func(t *testing.T) {
+		checkBatch(t, "concurrent", NewConcurrentStore(NewArrayStore(cells)), cells)
+	})
+	t.Run("FileStore", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "cells.wvfs")
+		fs, err := CreateFileStore(path, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		checkBatch(t, "file", fs, cells)
+	})
+	t.Run("BlockStoreFallback", func(t *testing.T) {
+		// BlockStore has no GetBatch; BatchGet must fall back to per-key Gets
+		// (and block accounting must still happen).
+		bs := NewBlockStore(NewArrayStore(cells), 10)
+		checkBatch(t, "block", bs, cells)
+		if bs.BlockReads() == 0 {
+			t.Error("block: no block reads counted through fallback")
+		}
+	})
+}
+
+func TestGetBatchCached(t *testing.T) {
+	cells := batchCells()
+	inner := NewArrayStore(cells)
+	cs, err := NewCachedStore(inner, Unbounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm two keys through the per-key path.
+	cs.Get(17)
+	cs.Get(250)
+	inner.ResetStats()
+	cs.hits = 0
+
+	keys := keysScrambled() // 17 and 299 each appear twice
+	dst := make([]float64, len(keys))
+	cs.GetBatch(keys, dst)
+	for i, k := range keys {
+		if dst[i] != cells[k] {
+			t.Fatalf("dst[%d] (key %d) = %g, want %g", i, k, dst[i], cells[k])
+		}
+	}
+	// 12 keys: 17×2 and 250 are warm (3 hits), 299 repeats within the batch
+	// (1 more hit), leaving 8 distinct cold keys.
+	if got := inner.Retrievals(); got != 8 {
+		t.Errorf("inner retrievals = %d, want 8", got)
+	}
+	if got := cs.Hits(); got != 4 {
+		t.Errorf("hits = %d, want 4", got)
+	}
+	// Everything is now cached: a second pass is all hits.
+	cs.GetBatch(keys, dst)
+	if got := inner.Retrievals(); got != 8 {
+		t.Errorf("second pass reached inner store: retrievals = %d", got)
+	}
+}
+
+func TestGetBatchCachedDisabled(t *testing.T) {
+	cells := batchCells()
+	inner := NewArrayStore(cells)
+	cs, err := NewCachedStore(inner, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []int{4, 4, 9}
+	dst := make([]float64, len(keys))
+	cs.GetBatch(keys, dst)
+	if got := inner.Retrievals(); got != 3 {
+		t.Errorf("capacity-0 cache must forward every key: retrievals = %d", got)
+	}
+	for i, k := range keys {
+		if dst[i] != cells[k] {
+			t.Fatalf("dst[%d] = %g, want %g", i, dst[i], cells[k])
+		}
+	}
+}
+
+func TestFileStoreGetBatchCoalescing(t *testing.T) {
+	// A long consecutive run plus a far-away key: values must still land in
+	// request order even though reads are sorted and coalesced.
+	cells := make([]float64, 4096)
+	for i := range cells {
+		cells[i] = float64(i * i)
+	}
+	path := filepath.Join(t.TempDir(), "cells.wvfs")
+	fs, err := CreateFileStore(path, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var keys []int
+	for k := 100; k < 400; k += 2 { // gaps of 2 — coalesces into one span
+		keys = append(keys, k)
+	}
+	keys = append(keys, 4095, 0, 2048)
+	dst := make([]float64, len(keys))
+	fs.GetBatch(keys, dst)
+	for i, k := range keys {
+		if dst[i] != cells[k] {
+			t.Fatalf("dst[%d] (key %d) = %g, want %g", i, k, dst[i], cells[k])
+		}
+	}
+	if got := fs.Retrievals(); got != int64(len(keys)) {
+		t.Fatalf("retrievals = %d, want %d (cost model counts keys, not syscalls)", got, len(keys))
+	}
+}
+
+func TestGetBatchOutOfRangePanics(t *testing.T) {
+	s := NewArrayStore(make([]float64, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range key")
+		}
+	}()
+	s.GetBatch([]int{0, 9}, make([]float64, 2))
+}
+
+func TestBatchGetLengthMismatchPanics(t *testing.T) {
+	s := NewArrayStore(make([]float64, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for keys/dst length mismatch")
+		}
+	}()
+	BatchGet(s, []int{1, 2}, make([]float64, 1))
+}

@@ -46,15 +46,27 @@ func (s *ConcurrentStore) NonzeroCount() int {
 }
 
 // ForEachNonzero implements Enumerable when the wrapped store does; the
-// whole enumeration holds the lock.
+// whole enumeration holds the lock. When the wrapped store cannot enumerate
+// it is a documented no-op — fn is never called — rather than a panic; use
+// CanEnumerate to distinguish "empty" from "unsupported".
 func (s *ConcurrentStore) ForEachNonzero(fn func(key int, value float64) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e, ok := s.inner.(Enumerable)
-	if !ok {
-		panic("storage: wrapped store is not enumerable")
+	if e, ok := s.inner.(Enumerable); ok {
+		e.ForEachNonzero(fn)
 	}
-	e.ForEachNonzero(fn)
 }
 
-var _ Store = (*ConcurrentStore)(nil)
+// CanEnumerate reports whether the wrapped store supports ForEachNonzero.
+func (s *ConcurrentStore) CanEnumerate() bool {
+	_, ok := s.inner.(Enumerable)
+	return ok
+}
+
+// ConcurrentSafe implements Concurrent.
+func (s *ConcurrentStore) ConcurrentSafe() {}
+
+var (
+	_ Store      = (*ConcurrentStore)(nil)
+	_ Concurrent = (*ConcurrentStore)(nil)
+)

@@ -50,11 +50,16 @@ func TestConcurrentStoreEnumeration(t *testing.T) {
 	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
 		t.Fatalf("keys = %v", keys)
 	}
+	if !cs.CanEnumerate() {
+		t.Fatal("CanEnumerate = false for enumerable inner store")
+	}
 	bad := NewConcurrentStore(nonEnumStore{})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	bad.ForEachNonzero(func(int, float64) bool { return true })
+	if bad.CanEnumerate() {
+		t.Fatal("CanEnumerate = true for non-enumerable inner store")
+	}
+	called := false
+	bad.ForEachNonzero(func(int, float64) bool { called = true; return true })
+	if called {
+		t.Fatal("ForEachNonzero visited entries of a non-enumerable store")
+	}
 }

@@ -1,0 +1,209 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Concurrent marks stores that are safe for use from multiple goroutines.
+// The evaluation engine uses it to decide whether retrievals may be issued
+// in parallel (Plan.ExactParallel) and the HTTP server uses it to drop its
+// global request mutex.
+type Concurrent interface {
+	Store
+	// ConcurrentSafe is a marker; it performs no work.
+	ConcurrentSafe()
+}
+
+// ShardedStore is a hash store physically partitioned into N lock shards:
+// each shard owns a disjoint slice of the key space behind its own RWMutex,
+// and the retrieval counter is a single atomic. Concurrent readers touching
+// different shards proceed without contending, which is what lets many
+// progressive runs (or HTTP requests) share one materialized view — the
+// single-mutex ConcurrentStore serializes every Get instead.
+//
+// ShardedStore implements Store, Updatable, Enumerable, BatchGetter and
+// Concurrent. Enumeration order is unspecified (as for HashStore).
+type ShardedStore struct {
+	shards     []storeShard
+	mask       uint64
+	shift      uint
+	retrievals atomic.Int64
+}
+
+type storeShard struct {
+	mu    sync.RWMutex
+	cells map[int]float64
+	// pad spaces shard headers apart so neighboring shard locks do not
+	// false-share a cache line under concurrent load.
+	_ [32]byte
+}
+
+// DefaultShards returns the shard count used when NewShardedStore is given
+// 0: enough shards that GOMAXPROCS concurrent readers rarely collide.
+func DefaultShards() int { return nextPow2(8 * runtime.GOMAXPROCS(0)) }
+
+// NewShardedStore returns an empty sharded store. shards is rounded up to a
+// power of two; 0 selects DefaultShards.
+func NewShardedStore(shards int) *ShardedStore {
+	if shards <= 0 {
+		shards = DefaultShards()
+	}
+	shards = nextPow2(shards)
+	s := &ShardedStore{
+		shards: make([]storeShard, shards),
+		mask:   uint64(shards - 1),
+		shift:  64 - log2(uint64(shards)),
+	}
+	for i := range s.shards {
+		s.shards[i].cells = make(map[int]float64)
+	}
+	return s
+}
+
+// NewShardedStoreFromDense builds a sharded store from a dense coefficient
+// array, keeping entries with |value| > tol.
+func NewShardedStoreFromDense(cells []float64, tol float64, shards int) *ShardedStore {
+	s := NewShardedStore(shards)
+	for k, v := range cells {
+		if math.Abs(v) > tol {
+			s.shards[s.shardOf(k)].cells[k] = v
+		}
+	}
+	return s
+}
+
+// NewShardedStoreFrom copies the nonzero coefficients of an existing store
+// into a sharded store. The source must be Enumerable.
+func NewShardedStoreFrom(src Store, shards int) (*ShardedStore, error) {
+	e, ok := src.(Enumerable)
+	if !ok {
+		return nil, fmt.Errorf("storage: cannot shard a non-enumerable store")
+	}
+	s := NewShardedStore(shards)
+	e.ForEachNonzero(func(k int, v float64) bool {
+		s.shards[s.shardOf(k)].cells[k] = v
+		return true
+	})
+	return s, nil
+}
+
+// shardOf hashes a key to its shard with a Fibonacci multiplicative hash, so
+// the structured key patterns of wavelet master lists (runs, strided levels)
+// still spread across shards.
+func (s *ShardedStore) shardOf(key int) uint64 {
+	return (uint64(key) * 0x9E3779B97F4A7C15) >> s.shift
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// Get implements Store: one shared-lock round-trip on the key's shard and
+// one atomic counter increment.
+func (s *ShardedStore) Get(key int) float64 {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.RLock()
+	v := sh.cells[key]
+	sh.mu.RUnlock()
+	s.retrievals.Add(1)
+	return v
+}
+
+// GetBatch implements BatchGetter: keys are grouped by shard so each shard
+// touched is locked once per batch rather than once per key.
+func (s *ShardedStore) GetBatch(keys []int, dst []float64) {
+	s.retrievals.Add(int64(len(keys)))
+	groups := make([][]int32, len(s.shards))
+	for i, k := range keys {
+		sh := s.shardOf(k)
+		groups[sh] = append(groups[sh], int32(i))
+	}
+	for si := range groups {
+		idxs := groups[si]
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for _, i := range idxs {
+			dst[i] = sh.cells[keys[i]]
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Add implements Updatable, taking the shard's write lock.
+func (s *ShardedStore) Add(key int, delta float64) {
+	sh := &s.shards[s.shardOf(key)]
+	sh.mu.Lock()
+	if v := sh.cells[key] + delta; v == 0 {
+		delete(sh.cells, key)
+	} else {
+		sh.cells[key] = v
+	}
+	sh.mu.Unlock()
+}
+
+// Retrievals implements Store.
+func (s *ShardedStore) Retrievals() int64 { return s.retrievals.Load() }
+
+// ResetStats implements Store.
+func (s *ShardedStore) ResetStats() { s.retrievals.Store(0) }
+
+// NonzeroCount implements Store.
+func (s *ShardedStore) NonzeroCount() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.cells)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ForEachNonzero implements Enumerable, holding one shard lock at a time.
+// Coefficients added or removed concurrently may or may not be visited.
+func (s *ShardedStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.cells {
+			if !fn(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// ConcurrentSafe implements Concurrent.
+func (s *ShardedStore) ConcurrentSafe() {}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n uint64) uint {
+	var l uint
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+var (
+	_ Updatable   = (*ShardedStore)(nil)
+	_ Enumerable  = (*ShardedStore)(nil)
+	_ BatchGetter = (*ShardedStore)(nil)
+	_ Concurrent  = (*ShardedStore)(nil)
+)

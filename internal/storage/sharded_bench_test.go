@@ -1,0 +1,58 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCells() []float64 {
+	cells := make([]float64, 1<<16)
+	for i := range cells {
+		cells[i] = float64(i%97) + 0.25
+	}
+	return cells
+}
+
+// BenchmarkConcurrentStore pits the single-mutex ConcurrentStore against the
+// ShardedStore under concurrent single-key Gets (b.RunParallel spawns
+// GOMAXPROCS goroutines). On a multi-core host the sharded variant avoids the
+// global lock convoy; on one core the two mostly measure lock overhead.
+func BenchmarkConcurrentStore(b *testing.B) {
+	cells := benchCells()
+	stores := []struct {
+		name string
+		s    Store
+	}{
+		{"mutex", NewConcurrentStore(NewHashStoreFromDense(cells, 0))},
+		{"sharded", NewShardedStoreFromDense(cells, 0, 0)},
+	}
+	for _, st := range stores {
+		b.Run(st.name+"/get", func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				k := 0
+				for pb.Next() {
+					st.s.Get(k & (1<<16 - 1))
+					k += 7919 // large prime stride scatters shard access
+				}
+			})
+		})
+	}
+	for _, st := range stores {
+		for _, batch := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("%s/batch=%d", st.name, batch), func(b *testing.B) {
+				b.RunParallel(func(pb *testing.PB) {
+					keys := make([]int, batch)
+					dst := make([]float64, batch)
+					k := 0
+					for pb.Next() {
+						for j := range keys {
+							keys[j] = k & (1<<16 - 1)
+							k += 7919
+						}
+						BatchGet(st.s, keys, dst)
+					}
+				})
+			})
+		}
+	}
+}

@@ -58,6 +58,11 @@ const (
 	StoreHash StoreKind = iota
 	// StoreArray keeps the full dense coefficient array.
 	StoreArray
+	// StoreSharded keeps nonzero coefficients hash-partitioned across N lock
+	// shards with an atomic retrieval counter — the concurrent deployment
+	// shape: many sessions, runs or HTTP requests can retrieve (and update)
+	// in parallel without contending on one mutex.
+	StoreSharded
 )
 
 // DatabaseOption configures NewDatabase.
@@ -92,6 +97,8 @@ func NewDatabase(dist *Distribution, filter *Filter, opts ...DatabaseOption) (*D
 		store = storage.NewHashStoreFromDense(hat, 0)
 	case StoreArray:
 		store = storage.NewArrayStore(hat)
+	case StoreSharded:
+		store = storage.NewShardedStoreFromDense(hat, 0, 0)
 	default:
 		return nil, fmt.Errorf("repro: unknown store kind %d", cfg.kind)
 	}
@@ -134,6 +141,8 @@ func NewEmptyDatabase(schema *Schema, filter *Filter, opts ...DatabaseOption) (*
 		store = storage.NewHashStore()
 	case StoreArray:
 		store = storage.NewArrayStore(make([]float64, schema.Cells()))
+	case StoreSharded:
+		store = storage.NewShardedStore(0)
 	default:
 		return nil, fmt.Errorf("repro: unknown store kind %d", cfg.kind)
 	}
@@ -254,9 +263,37 @@ func (db *Database) Plan(batch Batch) (*Plan, error) {
 	return core.NewWaveletPlan(batch, db.filter)
 }
 
+// PlanParallel is Plan with an explicit rewrite worker count (≤0 selects
+// GOMAXPROCS). The resulting plan is identical for every worker count.
+func (db *Database) PlanParallel(batch Batch, workers int) (*Plan, error) {
+	for _, q := range batch {
+		if !q.Schema.Equal(db.schema) {
+			return nil, fmt.Errorf("repro: query schema does not match database schema")
+		}
+	}
+	return core.NewWaveletPlanParallel(batch, db.filter, workers)
+}
+
 // Exact evaluates a plan exactly with one retrieval per distinct
 // coefficient.
 func (db *Database) Exact(plan *Plan) []float64 { return plan.Exact(db.store) }
+
+// ExactParallel evaluates a plan exactly using batched retrievals and up to
+// workers goroutines (≤0 selects GOMAXPROCS); results are bit-identical to
+// Exact. Retrievals run concurrently only when the store is concurrent-safe
+// (StoreSharded); otherwise the fetch is a single batched call.
+func (db *Database) ExactParallel(plan *Plan, workers int) []float64 {
+	return plan.ExactParallel(db.store, workers)
+}
+
+// ConcurrentSafe reports whether the database's coefficient store may be
+// retrieved from concurrently (true for StoreSharded). When it is, separate
+// goroutines can each create and advance their own runs against this
+// database; the HTTP server uses this to serve requests in parallel.
+func (db *Database) ConcurrentSafe() bool {
+	_, ok := db.store.(storage.Concurrent)
+	return ok
+}
 
 // NewRun starts a progressive Batch-Biggest-B run under the penalty.
 func (db *Database) NewRun(plan *Plan, pen Penalty) *Run {

@@ -34,6 +34,16 @@ func (s *Session) Plan(batch Batch) (*Plan, error) { return s.db.Plan(batch) }
 // Exact evaluates a plan exactly through the session cache.
 func (s *Session) Exact(plan *Plan) []float64 { return plan.Exact(s.store) }
 
+// ExactParallel evaluates a plan exactly through the session cache with
+// batched retrieval and parallel per-query accumulation; results are
+// bit-identical to Exact. The session cache is not concurrent-safe, so the
+// fetch is one batched cache pass (hits served in place, misses forwarded to
+// the backing store in a single batch) while the apply phase fans out across
+// workers (≤0 selects GOMAXPROCS).
+func (s *Session) ExactParallel(plan *Plan, workers int) []float64 {
+	return plan.ExactParallel(s.store, workers)
+}
+
 // NewRun starts a progressive run through the session cache.
 func (s *Session) NewRun(plan *Plan, pen Penalty) *Run {
 	return core.NewRun(plan, pen, s.store)
