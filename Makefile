@@ -1,14 +1,16 @@
-# Development targets. `make check` is the gate: vet + build + race-enabled
-# tests. `make bench` runs the parallel-engine benchmarks at a fixed iteration
-# count (numbers recorded in BENCH_parallel.json).
+# Development targets. `make check` is the gate: vet + build + tests +
+# race-enabled tests, in that order, failing fast. `make cover` prints a
+# per-package coverage summary. `make bench` runs the parallel-engine and
+# scheduler benchmarks at a fixed iteration count (numbers recorded in
+# BENCH_parallel.json and BENCH_sched.json).
 
 GO ?= go
 
-.PHONY: all check vet build test race bench bench-all
+.PHONY: all check vet build test race cover bench bench-sched bench-all
 
 all: check
 
-check: vet build race
+check: vet build test race
 
 vet:
 	$(GO) vet ./...
@@ -22,11 +24,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+cover:
+	$(GO) test -cover ./... | grep -v 'no test files'
+
 # Parallel-engine benchmarks: plan construction, exact evaluation, batched
 # stepping, store contention.
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkPlanParallel|BenchmarkExactParallel|BenchmarkStepBatch' -benchtime=100x ./internal/core/
 	$(GO) test -run NONE -bench 'BenchmarkConcurrentStore' -benchtime=100x ./internal/storage/
+
+# Scheduler benchmarks: concurrent mixed workload through the scheduler vs.
+# the same workload as sequential per-request runs.
+bench-sched:
+	$(GO) test -run NONE -bench 'BenchmarkScheduler' -benchtime=20x ./internal/sched/
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -9,34 +9,58 @@
 //	}'
 //
 // Progressive responses (budget below the master-list size) carry per-query
-// worst-case error bounds; /stats reports the view's metadata and cumulative
-// retrieval count; /healthz serves liveness.
+// worst-case error bounds; /query/stream delivers every intermediate
+// snapshot as Server-Sent Events; /stats reports the view's metadata plus
+// scheduler and I/O-coalescing counters; /healthz serves liveness.
+//
+// All query execution flows through the progressive scheduler: -max-active
+// and -max-queued bound admission (beyond both, requests get 429 +
+// Retry-After), -slice sets the retrievals granted per scheduling turn.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
+// requests for -drain-timeout, cancels whatever is still running, and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
+	"repro/internal/sched"
 	"repro/internal/server"
 )
 
 func main() {
 	var (
-		dbPath = flag.String("db", "temperature.wvdb", "database file to serve")
-		addr   = flag.String("addr", ":8080", "listen address")
+		dbPath       = flag.String("db", "temperature.wvdb", "database file to serve")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxActive    = flag.Int("max-active", 0, "concurrent runs in the scheduler table (0 = default 64)")
+		maxQueued    = flag.Int("max-queued", 0, "runs waiting behind the table before 429 (0 = default 256)")
+		slice        = flag.Int("slice", 0, "retrievals per scheduling turn (0 = default 512)")
+		workers      = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *addr); err != nil {
+	cfg := sched.Config{
+		MaxActive: *maxActive,
+		MaxQueued: *maxQueued,
+		Slice:     *slice,
+		Workers:   *workers,
+	}
+	if err := run(*dbPath, *addr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "wvqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, addr string) error {
+func run(dbPath, addr string, cfg sched.Config, drainTimeout time.Duration) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
@@ -49,10 +73,37 @@ func run(dbPath, addr string) error {
 	fmt.Printf("serving %s on %s: %d tuples over %v/%v (%d coefficients, filter %s)\n",
 		dbPath, addr, db.TupleCount(), db.Schema().Names, db.Schema().Sizes,
 		db.NonzeroCoefficients(), db.Filter().Name)
+	h := server.NewWithConfig(db, cfg)
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(db),
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
+		// WriteTimeout must cover a whole SSE stream, not one write, so it
+		// stays generous; slow /query clients are bounded by it too.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // bind failure etc. — never got to serving
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via the default handler
+	fmt.Println("wvqd: shutting down, draining in-flight requests")
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(shutdownCtx)
+	// Cancel whatever outlived the drain and stop the scheduler workers.
+	h.Close()
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
 }

@@ -3,54 +3,77 @@
 // (or exact) results with the paper's error guarantees attached. This is the
 // deployment shape of the system — precompute once with wvload, serve many
 // with wvqd.
+//
+// Every request executes through the internal/sched scheduler: concurrent
+// batches advance in fair budget slices (one huge exact batch cannot starve
+// small progressive ones), overlapping coefficient fetches coalesce into
+// single store reads, and overload is rejected early with 429 + Retry-After
+// instead of queueing without bound. /query answers with the final state;
+// /query/stream delivers every intermediate snapshot over SSE.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"sync"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro"
+	"repro/internal/sched"
 )
 
-// Handler serves queries against one database. When the database's store is
-// concurrent-safe (repro.StoreSharded), query requests run fully in
-// parallel: every request owns its plan and run, and the sharded store
-// serves the batched retrievals without a global lock. For single-threaded
-// stores requests are serialized with a mutex, the original deployment
-// shape.
+// Request guardrails: a statement list larger than maxStatements or a body
+// beyond maxBodyBytes is client error, not capacity planning.
+const (
+	maxStatements = 256
+	maxBodyBytes  = 1 << 20
+)
+
+// Handler serves queries against one database through a shared scheduler.
 type Handler struct {
-	mu       sync.Mutex
-	db       *repro.Database
-	parallel bool
+	db    *repro.Database
+	sched *sched.Scheduler
+	// mass caches K = Σ|Δ̂[ξ]| for error bounds; the served view is
+	// immutable, so one enumeration at startup covers every request.
+	mass float64
 }
 
-// New wraps a database in an HTTP handler.
-func New(db *repro.Database) *Handler {
-	return &Handler{db: db, parallel: db.ConcurrentSafe()}
-}
+// New wraps a database in an HTTP handler with default scheduler sizing.
+func New(db *repro.Database) *Handler { return NewWithConfig(db, sched.Config{}) }
 
-// lock serializes requests only when the store requires it; the returned
-// function undoes whatever was taken.
-func (h *Handler) lock() func() {
-	if h.parallel {
-		return func() {}
+// NewWithConfig wraps a database with explicit scheduler sizing. The
+// database is made safe for concurrent retrieval (EnsureConcurrent) and
+// cross-run fetch coalescing is enabled, so requests execute in parallel
+// whatever store the view was built on.
+func NewWithConfig(db *repro.Database, cfg sched.Config) *Handler {
+	db.EnsureConcurrent()
+	if err := db.EnableCoalescing(); err != nil {
+		// Unreachable after EnsureConcurrent; fail loudly if it ever isn't.
+		panic(err)
 	}
-	h.mu.Lock()
-	return h.mu.Unlock
+	return &Handler{db: db, sched: sched.New(cfg), mass: db.CoefficientMass()}
 }
 
-// stepBatchSize caps how many heap entries one batched retrieval covers, so
-// huge budgets do not allocate unbounded key/value scratch.
-const stepBatchSize = 1024
+// Close drains the scheduler: pending runs are cancelled and workers
+// stopped. Call after http.Server.Shutdown.
+func (h *Handler) Close() { h.sched.Close() }
 
-// QueryRequest is the POST /query body.
+// QueryRequest is the POST /query and /query/stream body.
 type QueryRequest struct {
 	// Statements is a ';'-separated batch in the textual query language.
 	Statements string `json:"statements"`
 	// Budget limits retrievals; 0 or ≥ the master list means exact.
 	Budget int `json:"budget,omitempty"`
+	// Priority weights the batch's scheduler quantum: "low", "normal"
+	// (default) or "high".
+	Priority string `json:"priority,omitempty"`
+	// TimeoutMS bounds wall-clock execution; on expiry the progressive
+	// state reached so far is returned (timed_out is set).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // QueryResult is one query's answer.
@@ -62,12 +85,15 @@ type QueryResult struct {
 	Bound *float64 `json:"bound,omitempty"`
 }
 
-// QueryResponse is the POST /query reply.
+// QueryResponse is the POST /query reply (and the SSE "done" event).
 type QueryResponse struct {
 	Exact     bool          `json:"exact"`
 	Retrieved int           `json:"retrieved"`
 	Distinct  int           `json:"distinct"`
-	Results   []QueryResult `json:"results"`
+	// TimedOut marks a response cut short by timeout_ms: the results are
+	// the progressive state reached within the deadline.
+	TimedOut bool          `json:"timed_out,omitempty"`
+	Results  []QueryResult `json:"results"`
 }
 
 // StatsResponse is the GET /stats reply.
@@ -79,11 +105,18 @@ type StatsResponse struct {
 	Sizes        []int    `json:"sizes"`
 	// Windows maps attribute bins back to raw units (from ingestion);
 	// omitted when unknown.
-	Windows    [][2]float64 `json:"windows,omitempty"`
-	Retrievals int64        `json:"retrievals"`
+	Windows [][2]float64 `json:"windows,omitempty"`
+	// Retrievals counts physical store fetches (coalesced fetches count
+	// once however many runs share them).
+	Retrievals int64 `json:"retrievals"`
+	// Scheduler reports admission and slicing counters.
+	Scheduler sched.Stats `json:"scheduler"`
+	// Coalescing reports cross-run I/O sharing.
+	Coalescing repro.CoalesceStats `json:"coalescing"`
 }
 
-// ServeHTTP implements http.Handler, routing /query, /stats and /healthz.
+// ServeHTTP implements http.Handler, routing /query, /query/stream, /stats
+// and /healthz.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
@@ -93,13 +126,15 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		h.stats(w)
 	case r.URL.Path == "/query" && r.Method == http.MethodPost:
 		h.query(w, r)
+	case r.URL.Path == "/query/stream" && r.Method == http.MethodPost:
+		h.stream(w, r)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
 }
 
 func (h *Handler) stats(w http.ResponseWriter) {
-	unlock := h.lock()
+	co, _ := h.db.CoalescingStats()
 	resp := StatsResponse{
 		Tuples:       h.db.TupleCount(),
 		Coefficients: h.db.NonzeroCoefficients(),
@@ -108,73 +143,140 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		Sizes:        h.db.Schema().Sizes,
 		Windows:      h.db.Windows(),
 		Retrievals:   h.db.Retrievals(),
+		Scheduler:    h.sched.Stats(),
+		Coalescing:   co,
 	}
-	unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+// submission is a parsed, admitted request: everything both endpoints need
+// to render results.
+type submission struct {
+	batch  repro.Batch
+	plan   *repro.Plan
+	ticket *sched.Ticket
+	cancel context.CancelFunc
+}
+
+// admit parses, validates, plans and submits a request. On any failure it
+// writes the HTTP error and returns nil.
+func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	var req QueryRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil
 	}
 	if req.Budget < 0 {
 		http.Error(w, "bad request: negative budget", http.StatusBadRequest)
-		return
+		return nil
 	}
-	defer h.lock()()
-
+	if req.TimeoutMS < 0 {
+		http.Error(w, "bad request: negative timeout_ms", http.StatusBadRequest)
+		return nil
+	}
+	var prio sched.Priority
+	switch strings.ToLower(req.Priority) {
+	case "", "normal":
+		prio = sched.PriorityNormal
+	case "low":
+		prio = sched.PriorityLow
+	case "high":
+		prio = sched.PriorityHigh
+	default:
+		http.Error(w, "bad request: priority must be low, normal or high", http.StatusBadRequest)
+		return nil
+	}
+	if n := strings.Count(req.Statements, ";") + 1; n > maxStatements {
+		http.Error(w, fmt.Sprintf("bad request: %d statements exceeds the limit of %d", n, maxStatements),
+			http.StatusBadRequest)
+		return nil
+	}
 	batch, err := repro.ParseBatch(h.db.Schema(), req.Statements)
 	if err != nil {
 		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil
+	}
+	if len(batch) > maxStatements {
+		http.Error(w, fmt.Sprintf("bad request: %d queries exceeds the limit of %d", len(batch), maxStatements),
+			http.StatusBadRequest)
+		return nil
 	}
 	plan, err := h.db.Plan(batch)
 	if err != nil {
 		http.Error(w, "planning failed: "+err.Error(), http.StatusBadRequest)
-		return
+		return nil
 	}
-	run := h.db.NewRun(plan, repro.SSE())
-	exact := req.Budget <= 0 || req.Budget >= plan.DistinctCoefficients()
 	budget := req.Budget
-	if exact {
-		budget = plan.DistinctCoefficients()
+	if budget >= plan.DistinctCoefficients() {
+		budget = 0 // exact
 	}
-	// Advance in batched steps: each StepBatch issues one GetBatch — one
-	// lock round-trip on a sharded store — while staying bit-identical to
-	// stepping one retrieval at a time.
-	for budget > 0 {
-		n := budget
-		if n > stepBatchSize {
-			n = stepBatchSize
-		}
-		if run.StepBatch(n) == 0 {
-			break
-		}
-		budget -= n
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if req.TimeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), time.Duration(req.TimeoutMS)*time.Millisecond)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
 	}
+	ticket, err := h.sched.Submit(ctx, sched.Job{
+		Run:      h.db.NewRun(plan, repro.SSE()),
+		Budget:   budget,
+		Priority: prio,
+		Mass:     h.mass,
+	})
+	if err != nil {
+		cancel()
+		if errors.Is(err, sched.ErrOverloaded) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(h.sched.RetryAfter().Seconds())))
+			http.Error(w, "overloaded: run table and waiting queue full", http.StatusTooManyRequests)
+		} else {
+			http.Error(w, "unavailable: "+err.Error(), http.StatusServiceUnavailable)
+		}
+		return nil
+	}
+	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel}
+}
+
+// response renders a progress snapshot in the /query wire shape.
+func (sub *submission) response(p sched.Progress, timedOut bool) QueryResponse {
 	resp := QueryResponse{
-		Exact:     run.Done(),
-		Retrieved: run.Retrieved(),
-		Distinct:  plan.DistinctCoefficients(),
-		Results:   make([]QueryResult, len(batch)),
+		Exact:     p.Done,
+		Retrieved: p.Retrieved,
+		Distinct:  sub.plan.DistinctCoefficients(),
+		TimedOut:  timedOut,
+		Results:   make([]QueryResult, len(sub.batch)),
 	}
-	var mass float64
-	if !run.Done() {
-		mass = h.db.CoefficientMass()
-	}
-	for i, q := range batch {
-		res := QueryResult{Query: q.Label, Estimate: run.Estimates()[i]}
-		if !run.Done() {
-			b := run.QueryErrorBound(i, mass)
+	for i, q := range sub.batch {
+		res := QueryResult{Query: q.Label, Estimate: p.Estimates[i]}
+		if !p.Done && p.Bounds != nil {
+			b := p.Bounds[i]
 			res.Bound = &b
 		}
 		resp.Results[i] = res
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	sub := h.admit(w, r)
+	if sub == nil {
+		return
+	}
+	defer sub.cancel()
+	final, err := sub.ticket.Final()
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, sub.response(final, false))
+	case errors.Is(err, context.DeadlineExceeded) && final.Retrieved > 0:
+		// The latency budget expired: the progressive state reached is still
+		// a valid answer with bounds — exactly what progressiveness buys.
+		writeJSON(w, http.StatusOK, sub.response(final, true))
+	default:
+		http.Error(w, "query cancelled: "+err.Error(), http.StatusServiceUnavailable)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

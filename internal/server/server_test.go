@@ -31,7 +31,9 @@ func testHandler(t *testing.T) (*Handler, *repro.Database, []float64) {
 		t.Fatal(err)
 	}
 	truth := batch.EvaluateDirect(dist)
-	return New(db), db, truth
+	h := New(db)
+	t.Cleanup(h.Close)
+	return h, db, truth
 }
 
 func postQuery(t *testing.T, h *Handler, body string) *httptest.ResponseRecorder {

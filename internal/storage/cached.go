@@ -91,8 +91,11 @@ func (s *CachedStore) ClearCache() {
 // NonzeroCount implements Store.
 func (s *CachedStore) NonzeroCount() int { return s.inner.NonzeroCount() }
 
+// Enumerable reports whether the wrapped store supports enumeration.
+func (s *CachedStore) Enumerable() bool { return IsEnumerable(s.inner) }
+
 // ForEachNonzero implements Enumerable when the wrapped store does; it
-// panics otherwise.
+// panics otherwise (check Enumerable first).
 func (s *CachedStore) ForEachNonzero(fn func(key int, value float64) bool) {
 	e, ok := s.inner.(Enumerable)
 	if !ok {

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// CoalescingStore is a singleflight layer over a concurrent-safe store: when
+// several runs ask for the same coefficient at the same time, exactly one
+// fetch reaches the wrapped store and every overlapping requester shares its
+// result. This extends the paper's intra-batch I/O sharing (one retrieval
+// per master-list entry) across concurrent batches: the scheduler advances
+// many runs at once, their master lists overlap heavily on the coarse
+// wavelet levels, and the overlapping retrievals collapse into one.
+//
+// Counting: Retrievals of the wrapped store reports only the fetches that
+// were actually issued (the layer's misses) — physical I/O, exactly as
+// CachedStore counts for sessions. Per-run retrieval counts (Run.Retrieved)
+// are unaffected: every run still pays one logical retrieval per requested
+// coefficient, so the paper's cost model per run is untouched.
+//
+// Unlike CachedStore, nothing is retained after a fetch completes: the layer
+// holds only the in-flight window, so it is safe at any store size and never
+// serves stale values once an Add lands (an Add racing an in-flight fetch of
+// the same key has plain Get/Add race semantics, as on the wrapped store).
+type CoalescingStore struct {
+	inner Concurrent
+
+	mu       sync.Mutex
+	inflight map[int]*flight
+
+	requests  atomic.Int64 // coefficients requested through the layer
+	fetched   atomic.Int64 // coefficients fetched from the wrapped store
+	coalesced atomic.Int64 // coefficients served by joining another fetch
+}
+
+// flight is one in-progress fetch; joiners block on done and read val after.
+type flight struct {
+	done chan struct{}
+	val  float64
+}
+
+// CoalesceStats is a snapshot of the layer's counters. Requests = Fetched +
+// Coalesced; a nonzero Coalesced means concurrent runs actually shared I/O.
+type CoalesceStats struct {
+	Requests  int64 `json:"requests"`
+	Fetched   int64 `json:"fetched"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+// NewCoalescingStore wraps inner. The wrapped store must be concurrent-safe
+// (the layer's whole point is overlapping callers).
+func NewCoalescingStore(inner Concurrent) *CoalescingStore {
+	return &CoalescingStore{inner: inner, inflight: make(map[int]*flight)}
+}
+
+// Get implements Store: lead a fetch, or join one already in flight.
+func (s *CoalescingStore) Get(key int) float64 {
+	s.requests.Add(1)
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		s.coalesced.Add(1)
+		return f.val
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val = s.inner.Get(key)
+	s.fetched.Add(1)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.val
+}
+
+// GetBatch implements BatchGetter. Keys already in flight elsewhere are
+// joined; the rest are registered and fetched from the wrapped store in one
+// batched call. Duplicate keys within the batch are fetched once and the
+// repeats count as coalesced, mirroring the sequential fetch-then-join
+// behaviour.
+func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
+	if len(keys) != len(dst) {
+		panic("storage: GetBatch keys/dst length mismatch")
+	}
+	s.requests.Add(int64(len(keys)))
+
+	type join struct {
+		pos int
+		f   *flight
+	}
+	var (
+		joins    []join
+		leadKeys []int
+		leadAt   = make(map[int]int) // key → index into leadKeys
+		flights  []*flight
+	)
+	s.mu.Lock()
+	for i, k := range keys {
+		if j, ok := leadAt[k]; ok {
+			// Duplicate within this batch: shares our own fetch.
+			joins = append(joins, join{pos: i, f: flights[j]})
+			continue
+		}
+		if f, ok := s.inflight[k]; ok {
+			joins = append(joins, join{pos: i, f: f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[k] = f
+		leadAt[k] = len(leadKeys)
+		leadKeys = append(leadKeys, k)
+		flights = append(flights, f)
+	}
+	s.mu.Unlock()
+
+	if len(leadKeys) > 0 {
+		vals := make([]float64, len(leadKeys))
+		BatchGet(s.inner, leadKeys, vals)
+		s.fetched.Add(int64(len(leadKeys)))
+		s.mu.Lock()
+		for _, k := range leadKeys {
+			delete(s.inflight, k)
+		}
+		s.mu.Unlock()
+		for j, f := range flights {
+			f.val = vals[j]
+			close(f.done)
+		}
+		for i, k := range keys {
+			if j, ok := leadAt[k]; ok {
+				dst[i] = vals[j]
+			}
+		}
+	}
+	for _, jn := range joins {
+		<-jn.f.done
+		dst[jn.pos] = jn.f.val
+		s.coalesced.Add(1)
+	}
+}
+
+// Stats returns the coalescing counters.
+func (s *CoalescingStore) Stats() CoalesceStats {
+	return CoalesceStats{
+		Requests:  s.requests.Load(),
+		Fetched:   s.fetched.Load(),
+		Coalesced: s.coalesced.Load(),
+	}
+}
+
+// Add implements Updatable when the wrapped store does; it panics otherwise.
+// The write goes straight through — the layer holds no cached values to
+// invalidate.
+func (s *CoalescingStore) Add(key int, delta float64) {
+	u, ok := s.inner.(Updatable)
+	if !ok {
+		panic("storage: wrapped store is not updatable")
+	}
+	u.Add(key, delta)
+}
+
+// Retrievals implements Store: physical fetches issued to the wrapped store.
+func (s *CoalescingStore) Retrievals() int64 { return s.inner.Retrievals() }
+
+// ResetStats implements Store, zeroing both the wrapped store's counter and
+// the layer's own.
+func (s *CoalescingStore) ResetStats() {
+	s.inner.ResetStats()
+	s.requests.Store(0)
+	s.fetched.Store(0)
+	s.coalesced.Store(0)
+}
+
+// NonzeroCount implements Store.
+func (s *CoalescingStore) NonzeroCount() int { return s.inner.NonzeroCount() }
+
+// Enumerable reports whether the wrapped store supports enumeration.
+func (s *CoalescingStore) Enumerable() bool { return IsEnumerable(s.inner) }
+
+// ForEachNonzero implements Enumerable when the wrapped store does; it
+// panics otherwise (check Enumerable first).
+func (s *CoalescingStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	e, ok := s.inner.(Enumerable)
+	if !ok {
+		panic(fmt.Sprintf("storage: %T is not enumerable", s.inner))
+	}
+	e.ForEachNonzero(fn)
+}
+
+// ConcurrentSafe implements Concurrent.
+func (s *CoalescingStore) ConcurrentSafe() {}
+
+var (
+	_ Store       = (*CoalescingStore)(nil)
+	_ Updatable   = (*CoalescingStore)(nil)
+	_ BatchGetter = (*CoalescingStore)(nil)
+	_ Concurrent  = (*CoalescingStore)(nil)
+	_ Enumerable  = (*CoalescingStore)(nil)
+)

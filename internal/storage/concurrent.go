@@ -1,6 +1,9 @@
 package storage
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // ConcurrentStore wraps a Store with a mutex so multiple progressive runs
 // can execute in parallel goroutines against one materialized view. The
@@ -45,28 +48,42 @@ func (s *ConcurrentStore) NonzeroCount() int {
 	return s.inner.NonzeroCount()
 }
 
+// Add implements Updatable when the wrapped store does, taking the lock; it
+// panics otherwise. This lets a ConcurrentStore stand in wherever the
+// original store did (Database, scheduler) without losing maintenance.
+func (s *ConcurrentStore) Add(key int, delta float64) {
+	u, ok := s.inner.(Updatable)
+	if !ok {
+		panic(fmt.Sprintf("storage: %T is not updatable", s.inner))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u.Add(key, delta)
+}
+
 // ForEachNonzero implements Enumerable when the wrapped store does; the
 // whole enumeration holds the lock. When the wrapped store cannot enumerate
-// it is a documented no-op — fn is never called — rather than a panic; use
-// CanEnumerate to distinguish "empty" from "unsupported".
+// it panics — check Enumerable first to distinguish "empty" from
+// "unsupported".
 func (s *ConcurrentStore) ForEachNonzero(fn func(key int, value float64) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if e, ok := s.inner.(Enumerable); ok {
-		e.ForEachNonzero(fn)
+	e, ok := s.inner.(Enumerable)
+	if !ok {
+		panic(fmt.Sprintf("storage: %T is not enumerable", s.inner))
 	}
+	e.ForEachNonzero(fn)
 }
 
-// CanEnumerate reports whether the wrapped store supports ForEachNonzero.
-func (s *ConcurrentStore) CanEnumerate() bool {
-	_, ok := s.inner.(Enumerable)
-	return ok
-}
+// Enumerable reports whether the wrapped store supports ForEachNonzero.
+func (s *ConcurrentStore) Enumerable() bool { return IsEnumerable(s.inner) }
 
 // ConcurrentSafe implements Concurrent.
 func (s *ConcurrentStore) ConcurrentSafe() {}
 
 var (
 	_ Store      = (*ConcurrentStore)(nil)
+	_ Updatable  = (*ConcurrentStore)(nil)
 	_ Concurrent = (*ConcurrentStore)(nil)
+	_ Enumerable = (*ConcurrentStore)(nil)
 )

@@ -50,16 +50,59 @@ func TestConcurrentStoreEnumeration(t *testing.T) {
 	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
 		t.Fatalf("keys = %v", keys)
 	}
-	if !cs.CanEnumerate() {
-		t.Fatal("CanEnumerate = false for enumerable inner store")
+	if !cs.Enumerable() {
+		t.Fatal("Enumerable = false for enumerable inner store")
+	}
+	if !IsEnumerable(cs) {
+		t.Fatal("IsEnumerable = false for enumerable wrapper")
 	}
 	bad := NewConcurrentStore(nonEnumStore{})
-	if bad.CanEnumerate() {
-		t.Fatal("CanEnumerate = true for non-enumerable inner store")
+	if bad.Enumerable() {
+		t.Fatal("Enumerable = true for non-enumerable inner store")
 	}
-	called := false
-	bad.ForEachNonzero(func(int, float64) bool { called = true; return true })
-	if called {
-		t.Fatal("ForEachNonzero visited entries of a non-enumerable store")
+	if IsEnumerable(bad) {
+		t.Fatal("IsEnumerable = true for non-enumerable wrapper")
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForEachNonzero on a non-enumerable inner store did not panic")
+		}
+	}()
+	bad.ForEachNonzero(func(int, float64) bool { return true })
+}
+
+func TestConcurrentStoreNestedCapability(t *testing.T) {
+	// Capability checks see through nested wrappers: Concurrent(Cached(bad)).
+	inner, err := NewCachedStore(nonEnumStore{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConcurrentStore(inner)
+	if cs.Enumerable() || IsEnumerable(cs) {
+		t.Fatal("nested non-enumerable store reported as enumerable")
+	}
+}
+
+func TestConcurrentStoreAdd(t *testing.T) {
+	cs := NewConcurrentStore(NewHashStore())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				cs.Add(7, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cs.Get(7); got != 400 {
+		t.Fatalf("Get(7) = %g after concurrent Adds, want 400", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a non-updatable inner store did not panic")
+		}
+	}()
+	NewConcurrentStore(nonEnumStore{}).Add(0, 1)
 }

@@ -40,8 +40,33 @@ type Updatable interface {
 // coefficients (for persistence and diagnostics). Iteration order is
 // unspecified; fn returning false stops the walk. Enumeration does not
 // count retrievals.
+//
+// Wrapper stores (ConcurrentStore, CachedStore, BlockStore,
+// CoalescingStore) satisfy this interface unconditionally but can only
+// enumerate when the store they wrap can; they additionally expose an
+// `Enumerable() bool` capability check and their ForEachNonzero panics when
+// it reports false. Use IsEnumerable to test a store of unknown shape.
 type Enumerable interface {
 	ForEachNonzero(fn func(key int, value float64) bool)
+}
+
+// enumerationCapable is the capability check implemented by wrapper stores
+// whose enumerability depends on the store they wrap.
+type enumerationCapable interface {
+	Enumerable() bool
+}
+
+// IsEnumerable reports whether s actually supports ForEachNonzero: it
+// implements Enumerable and, for capability-aware wrappers, the wrapped
+// store does too. Callers should check this before enumerating a store of
+// unknown provenance; wrappers panic on unsupported enumeration rather than
+// silently visiting nothing.
+func IsEnumerable(s Store) bool {
+	if c, ok := s.(enumerationCapable); ok {
+		return c.Enumerable()
+	}
+	_, ok := s.(Enumerable)
+	return ok
 }
 
 // ArrayStore keeps the full dense coefficient array. Access is a bounds
@@ -218,8 +243,11 @@ func (s *BlockStore) ResetStats() {
 // NonzeroCount implements Store.
 func (s *BlockStore) NonzeroCount() int { return s.inner.NonzeroCount() }
 
+// Enumerable reports whether the wrapped store supports enumeration.
+func (s *BlockStore) Enumerable() bool { return IsEnumerable(s.inner) }
+
 // ForEachNonzero implements Enumerable when the wrapped store does; it
-// panics otherwise.
+// panics otherwise (check Enumerable first).
 func (s *BlockStore) ForEachNonzero(fn func(key int, value float64) bool) {
 	e, ok := s.inner.(Enumerable)
 	if !ok {

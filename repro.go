@@ -195,11 +195,10 @@ func (db *Database) Windows() [][2]float64 { return db.windows }
 // coefficients) to w in the versioned, checksummed binary format of
 // internal/codec. The stored view can be reopened with LoadDatabase.
 func (db *Database) Save(w io.Writer) error {
-	enum, ok := db.store.(storage.Enumerable)
-	if !ok {
+	if !storage.IsEnumerable(db.store) {
 		return fmt.Errorf("repro: store does not support enumeration")
 	}
-	return codec.Write(w, db.schema, db.filter.Name, db.tuples, enum, db.windows)
+	return codec.Write(w, db.schema, db.filter.Name, db.tuples, db.store.(storage.Enumerable), db.windows)
 }
 
 // LoadDatabase deserializes a database previously written with Save.
@@ -236,10 +235,10 @@ func (db *Database) NonzeroCoefficients() int { return db.store.NonzeroCount() }
 // worst-case bound K^α·ι_p(ξ′) reported by Run.WorstCaseBound. Enumerating
 // the store does not count as retrievals.
 func (db *Database) CoefficientMass() float64 {
-	enum, ok := db.store.(storage.Enumerable)
-	if !ok {
+	if !storage.IsEnumerable(db.store) {
 		return 0
 	}
+	enum := db.store.(storage.Enumerable)
 	var mass float64
 	enum.ForEachNonzero(func(_ int, v float64) bool {
 		if v < 0 {
@@ -293,6 +292,51 @@ func (db *Database) ExactParallel(plan *Plan, workers int) []float64 {
 func (db *Database) ConcurrentSafe() bool {
 	_, ok := db.store.(storage.Concurrent)
 	return ok
+}
+
+// EnsureConcurrent makes the database safe for concurrent retrieval: stores
+// that are not already concurrent-safe are wrapped in a single-mutex
+// storage.ConcurrentStore (the sharded store from repro.StoreSharded is the
+// scalable choice; this is the universal fallback). Afterwards
+// ConcurrentSafe reports true. Idempotent.
+func (db *Database) EnsureConcurrent() {
+	if !db.ConcurrentSafe() {
+		db.store = storage.NewConcurrentStore(db.store)
+	}
+}
+
+// CoalesceStats reports cross-run I/O sharing: of the coefficients
+// requested through the coalescing layer, how many were physically fetched
+// and how many were served by joining another run's in-flight fetch.
+type CoalesceStats = storage.CoalesceStats
+
+// EnableCoalescing inserts a singleflight layer over the (concurrent-safe)
+// store so runs advancing in parallel — e.g. under the internal scheduler —
+// fetch each overlapping coefficient once: the paper's intra-batch I/O
+// sharing extended across concurrent batches. Call EnsureConcurrent first
+// for stores that are not already concurrent-safe. After this call,
+// Retrievals counts physical fetches only; per-run retrieval counts are
+// unchanged. Idempotent.
+func (db *Database) EnableCoalescing() error {
+	if _, ok := db.store.(*storage.CoalescingStore); ok {
+		return nil
+	}
+	c, ok := db.store.(storage.Concurrent)
+	if !ok {
+		return fmt.Errorf("repro: coalescing requires a concurrent-safe store (call EnsureConcurrent or use StoreSharded)")
+	}
+	db.store = storage.NewCoalescingStore(c)
+	return nil
+}
+
+// CoalescingStats returns the coalescing counters; ok is false when
+// EnableCoalescing has not been called.
+func (db *Database) CoalescingStats() (stats CoalesceStats, ok bool) {
+	cs, ok := db.store.(*storage.CoalescingStore)
+	if !ok {
+		return CoalesceStats{}, false
+	}
+	return cs.Stats(), true
 }
 
 // NewRun starts a progressive Batch-Biggest-B run under the penalty.

@@ -10,6 +10,13 @@ import (
 // sharing one retrieval cache, so coefficients fetched for an earlier batch
 // answer later batches for free. Session retrieval counts report only cache
 // misses — the session's true I/O.
+//
+// A Session belongs to one goroutine: its cache is not concurrent-safe. To
+// share I/O across *concurrent* clients instead of across one client's
+// successive batches, use EnsureConcurrent + EnableCoalescing on the
+// Database (the HTTP server's scheduler does this automatically) — the
+// coalescing layer shares fetches between overlapping in-flight runs, where
+// the session cache shares them across time.
 type Session struct {
 	db    *Database
 	store *storage.CachedStore
