@@ -2,11 +2,12 @@
 # race-enabled tests, in that order, failing fast. `make cover` prints a
 # per-package coverage summary. `make bench` runs the parallel-engine and
 # scheduler benchmarks at a fixed iteration count (numbers recorded in
-# BENCH_parallel.json and BENCH_sched.json).
+# BENCH_parallel.json and BENCH_sched.json); `make bench-core` runs the
+# CSR/schedule benches behind BENCH_core.json.
 
 GO ?= go
 
-.PHONY: all check vet build test race cover bench bench-sched bench-all
+.PHONY: all check vet build test race cover bench bench-core bench-sched bench-all
 
 all: check
 
@@ -32,6 +33,11 @@ cover:
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkPlanParallel|BenchmarkExactParallel|BenchmarkStepBatch' -benchtime=100x ./internal/core/
 	$(GO) test -run NONE -bench 'BenchmarkConcurrentStore' -benchtime=100x ./internal/storage/
+
+# Evaluation-core benchmarks behind BENCH_core.json: run setup heap-vs-
+# schedule, exact pass AoS-vs-CSR, and prefetching StepBatch batch sizes.
+bench-core:
+	$(GO) test -run NONE -bench 'BenchmarkNewRun|BenchmarkStepToCompletion|BenchmarkExactLayout|BenchmarkStepBatchPrefetch' -benchmem -benchtime=100x ./internal/core/
 
 # Scheduler benchmarks: concurrent mixed workload through the scheduler vs.
 # the same workload as sequential per-request runs.

@@ -17,6 +17,10 @@
 // and -max-queued bound admission (beyond both, requests get 429 +
 // Retry-After), -slice sets the retrievals granted per scheduling turn.
 //
+// -pprof exposes net/http/pprof on its own listener (e.g. -pprof
+// localhost:6060), kept off the public mux so profiling the schedule and
+// prefetch paths never reaches query clients.
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
 // requests for -drain-timeout, cancels whatever is still running, and exits.
 package main
@@ -27,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +51,7 @@ func main() {
 		slice        = flag.Int("slice", 0, "retrievals per scheduling turn (0 = default 512)")
 		workers      = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	cfg := sched.Config{
@@ -54,13 +60,13 @@ func main() {
 		Slice:     *slice,
 		Workers:   *workers,
 	}
-	if err := run(*dbPath, *addr, cfg, *drainTimeout); err != nil {
+	if err := run(*dbPath, *addr, *pprofAddr, cfg, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "wvqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, addr string, cfg sched.Config, drainTimeout time.Duration) error {
+func run(dbPath, addr, pprofAddr string, cfg sched.Config, drainTimeout time.Duration) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
@@ -82,6 +88,17 @@ func run(dbPath, addr string, cfg sched.Config, drainTimeout time.Duration) erro
 		// stays generous; slow /query clients are bounded by it too.
 		WriteTimeout: 5 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
+	}
+
+	if pprofAddr != "" {
+		pprofSrv := newPprofServer(pprofAddr)
+		defer pprofSrv.Close()
+		go func() {
+			fmt.Printf("wvqd: pprof on http://%s/debug/pprof/\n", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "wvqd: pprof:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -106,4 +123,17 @@ func run(dbPath, addr string, cfg sched.Config, drainTimeout time.Duration) erro
 		return serveErr
 	}
 	return err
+}
+
+// newPprofServer builds the profiling listener on an explicit mux: importing
+// net/http/pprof only registers on http.DefaultServeMux, which the query
+// server deliberately does not use.
+func newPprofServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 }

@@ -29,8 +29,8 @@ func NewBlockRun(plan *Plan, pen penalty.Penalty, store *storage.BlockStore) *Bl
 	imps := plan.Importances(pen)
 	byBlock := make(map[int][]int)
 	blockImp := make(map[int]float64)
-	for i := range plan.entries {
-		b := store.Block(plan.entries[i].Key)
+	for i, key := range plan.keys {
+		b := store.Block(key)
 		byBlock[b] = append(byBlock[b], i)
 		blockImp[b] += imps[i]
 	}
@@ -64,14 +64,14 @@ func (r *BlockRun) Step() bool {
 		return false
 	}
 	for _, i := range r.order[r.pos] {
-		e := &r.plan.entries[i]
-		v := r.store.Get(e.Key)
+		v := r.store.Get(r.plan.keys[i])
 		r.retrieved++
 		if v == 0 {
 			continue
 		}
-		for k, qi := range e.QueryIdx {
-			r.estimates[qi] += e.Coeffs[k] * v
+		idxs, cs := r.plan.entryRefs(i)
+		for k, qi := range idxs {
+			r.estimates[qi] += cs[k] * v
 		}
 	}
 	r.pos++

@@ -27,8 +27,8 @@ func TestBlockRunMatchesExact(t *testing.T) {
 	// Block reads must equal the number of distinct blocks touched by the
 	// plan, and be at most the coefficient count.
 	distinctBlocks := map[int]struct{}{}
-	for i := range fx.plan.entries {
-		distinctBlocks[bs.Block(fx.plan.entries[i].Key)] = struct{}{}
+	for _, key := range fx.plan.keys {
+		distinctBlocks[bs.Block(key)] = struct{}{}
 	}
 	if int(bs.BlockReads()) != len(distinctBlocks) {
 		t.Fatalf("block reads %d != distinct blocks %d", bs.BlockReads(), len(distinctBlocks))
@@ -52,15 +52,15 @@ func TestBlockRunFetchesImportantBlocksFirst(t *testing.T) {
 	// order is non-increasing.
 	imps := fx.plan.Importances(pen)
 	blockImp := map[int]float64{}
-	for i := range fx.plan.entries {
-		blockImp[bs.Block(fx.plan.entries[i].Key)] += imps[i]
+	for i, key := range fx.plan.keys {
+		blockImp[bs.Block(key)] += imps[i]
 	}
 	prev := -1.0
 	first := true
 	for !run.Done() {
 		// The next block is order[pos]; find its importance via any entry.
 		entryIdx := run.order[run.pos][0]
-		b := bs.Block(fx.plan.entries[entryIdx].Key)
+		b := bs.Block(fx.plan.keys[entryIdx])
 		imp := blockImp[b]
 		if !first && imp > prev+1e-12 {
 			t.Fatalf("block importance increased: %g after %g", imp, prev)

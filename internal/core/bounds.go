@@ -19,7 +19,7 @@ import (
 // bounds pay nothing.
 
 type queryBound struct {
-	// entries are the indices into plan.entries touching this query, sorted
+	// entries are the master-list entry indices touching this query, sorted
 	// by descending |coefficient|.
 	entries []int32
 	// mags are the matching |coefficient| values.
@@ -32,13 +32,14 @@ func (r *Run) initBounds() {
 	if r.bounds != nil {
 		return
 	}
-	r.bounds = make([]queryBound, r.plan.NumQueries())
-	for i := range r.plan.entries {
-		e := &r.plan.entries[i]
-		for k, qi := range e.QueryIdx {
-			b := &r.bounds[qi]
+	p := r.plan
+	r.bounds = make([]queryBound, p.NumQueries())
+	for i := range p.keys {
+		lo, hi := p.offsets[i], p.offsets[i+1]
+		for k := lo; k < hi; k++ {
+			b := &r.bounds[p.queryIdx[k]]
 			b.entries = append(b.entries, int32(i))
-			b.mags = append(b.mags, math.Abs(e.Coeffs[k]))
+			b.mags = append(b.mags, math.Abs(p.coeffs[k]))
 		}
 	}
 	for qi := range r.bounds {
@@ -66,7 +67,7 @@ func (r *Run) initBounds() {
 func (r *Run) QueryErrorBound(i int, coefficientMass float64) float64 {
 	r.initBounds()
 	b := &r.bounds[i]
-	for b.next < len(b.entries) && r.popped[b.entries[b.next]] {
+	for b.next < len(b.entries) && r.entryRetrieved(b.entries[b.next]) {
 		b.next++
 	}
 	if b.next >= len(b.entries) {

@@ -67,21 +67,21 @@ func TestQueryErrorBoundAttainedByPointMass(t *testing.T) {
 			continue
 		}
 		// Find the query's largest unretrieved |coefficient| and its key by
-		// replaying the plan against the popped set.
+		// replaying the plan against the retrieved prefix.
 		var bestMag float64
 		bestKey := -1
 		var bestCoeff float64
-		for i := range plan.entries {
-			if run.popped[i] {
+		for i := range plan.keys {
+			if run.entryRetrieved(int32(i)) {
 				continue
 			}
-			e := &plan.entries[i]
-			for k, q := range e.QueryIdx {
+			idxs, cs := plan.entryRefs(i)
+			for k, q := range idxs {
 				if int(q) == qi {
-					if m := math.Abs(e.Coeffs[k]); m > bestMag {
+					if m := math.Abs(cs[k]); m > bestMag {
 						bestMag = m
-						bestKey = e.Key
-						bestCoeff = e.Coeffs[k]
+						bestKey = plan.keys[i]
+						bestCoeff = cs[k]
 					}
 				}
 			}

@@ -11,8 +11,9 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/penalty"
@@ -22,35 +23,47 @@ import (
 	"repro/internal/wavelet"
 )
 
-// Entry is one element of the master list: a distinct storage key together
-// with the queries that need it and their coefficients.
-type Entry struct {
-	Key      int
-	QueryIdx []int32
-	Coeffs   []float64
-}
-
 // Plan is the merged master list for a query batch (steps 2–3 of
 // Batch-Biggest-B): the union of the per-query nonzero coefficient lists,
 // grouped by storage key so each key is retrieved at most once.
+//
+// The master list is stored in CSR form — entry i is the distinct key
+// keys[i] (ascending) whose (query, coefficient) references occupy
+// queryIdx[offsets[i]:offsets[i+1]] and coeffs[offsets[i]:offsets[i+1]].
+// Four flat arrays instead of a slice of per-entry slices keeps Exact and
+// Step cache-linear and puts zero per-entry allocations on the heap.
+//
+// A Plan is immutable after construction and safe for concurrent use: any
+// number of goroutines may evaluate it, start runs on it, or warm its
+// per-penalty schedule cache (see schedule.go) at the same time.
 type Plan struct {
-	Labels  []string
-	entries []Entry
+	Labels []string
+
+	// CSR master list, ascending key order.
+	keys     []int
+	offsets  []int32
+	queryIdx []int32
+	coeffs   []float64
+
 	// totalQueryCoefficients is the sum of per-query nonzero counts — the
 	// number of retrievals an unshared per-query evaluation would need.
 	totalQueryCoefficients int
 
-	// evalOnce guards the lazily-built ExactParallel indexes: the flat
-	// master key list and the per-query inverted entry lists (parallel.go).
+	// evalOnce guards the lazily-built per-query inverted entry lists used
+	// by ExactParallel's apply phase (parallel.go).
 	evalOnce sync.Once
-	keys     []int
 	byQuery  [][]qref
 
-	// idxOnce guards the lazily-built per-entry []int views of QueryIdx
-	// handed to penalty.Penalty.Importance, so the int32→int conversion
-	// happens once per plan instead of once per entry per run.
-	idxOnce  sync.Once
-	entryIdx [][]int
+	// idxOnce guards entryIdxInt, the []int view of queryIdx handed to
+	// penalty.Penalty.Importance (shares offsets with queryIdx), so the
+	// int32→int conversion is paid once per plan instead of once per run.
+	idxOnce     sync.Once
+	entryIdxInt []int
+
+	// schedMu guards schedules, the per-penalty-fingerprint cache of
+	// retrieval schedules (schedule.go).
+	schedMu   sync.Mutex
+	schedules map[string]*scheduleSlot
 }
 
 // NewPlan merges the per-query sparse coefficient vectors into a master
@@ -129,7 +142,7 @@ func (p *Plan) NumQueries() int { return len(p.Labels) }
 
 // DistinctCoefficients returns the master-list length: the number of
 // retrievals an exact shared evaluation performs.
-func (p *Plan) DistinctCoefficients() int { return len(p.entries) }
+func (p *Plan) DistinctCoefficients() int { return len(p.keys) }
 
 // TotalQueryCoefficients returns the sum of per-query nonzero counts: the
 // number of retrievals unshared per-query evaluation performs.
@@ -138,39 +151,38 @@ func (p *Plan) TotalQueryCoefficients() int { return p.totalQueryCoefficients }
 // SharingFactor returns TotalQueryCoefficients / DistinctCoefficients — how
 // many queries the average retrieved coefficient serves.
 func (p *Plan) SharingFactor() float64 {
-	if len(p.entries) == 0 {
+	if len(p.keys) == 0 {
 		return 0
 	}
-	return float64(p.totalQueryCoefficients) / float64(len(p.entries))
+	return float64(p.totalQueryCoefficients) / float64(len(p.keys))
+}
+
+// entryRefs returns entry i's (query index, coefficient) columns — views
+// into the flat CSR arrays, owned by the plan.
+func (p *Plan) entryRefs(i int) ([]int32, []float64) {
+	lo, hi := p.offsets[i], p.offsets[i+1]
+	return p.queryIdx[lo:hi], p.coeffs[lo:hi]
 }
 
 // ForEachEntry visits every master-list entry in ascending key order — the
 // same order Importances reports values in. The slices are owned by the
 // plan; callers must not modify them.
 func (p *Plan) ForEachEntry(fn func(key int, queryIdx []int32, coeffs []float64)) {
-	for i := range p.entries {
-		e := &p.entries[i]
-		fn(e.Key, e.QueryIdx, e.Coeffs)
+	for i, key := range p.keys {
+		idxs, cs := p.entryRefs(i)
+		fn(key, idxs, cs)
 	}
 }
 
-// buildEntryIdx lazily materializes each entry's QueryIdx as []int (the
-// type penalty.Penalty.Importance takes) in one backing array, so the
-// int32→int conversion is paid once per plan rather than re-done for every
-// entry of every run.
+// buildEntryIdx lazily materializes queryIdx as []int (the element type
+// penalty.Penalty.Importance takes) in one flat array sharing the CSR
+// offsets, so the int32→int conversion is paid once per plan rather than
+// re-done for every entry of every schedule build.
 func (p *Plan) buildEntryIdx() {
 	p.idxOnce.Do(func() {
-		backing := make([]int, p.totalQueryCoefficients)
-		p.entryIdx = make([][]int, len(p.entries))
-		off := 0
-		for i := range p.entries {
-			e := &p.entries[i]
-			s := backing[off : off+len(e.QueryIdx)]
-			for k, qi := range e.QueryIdx {
-				s[k] = int(qi)
-			}
-			p.entryIdx[i] = s
-			off += len(e.QueryIdx)
+		p.entryIdxInt = make([]int, len(p.queryIdx))
+		for i, qi := range p.queryIdx {
+			p.entryIdxInt[i] = int(qi)
 		}
 	})
 }
@@ -178,121 +190,89 @@ func (p *Plan) buildEntryIdx() {
 // Importances computes ι_p for every master-list entry under the penalty.
 func (p *Plan) Importances(pen penalty.Penalty) []float64 {
 	p.buildEntryIdx()
-	out := make([]float64, len(p.entries))
-	for i := range p.entries {
-		out[i] = pen.Importance(p.entryIdx[i], p.entries[i].Coeffs)
+	out := make([]float64, len(p.keys))
+	for i := range out {
+		lo, hi := p.offsets[i], p.offsets[i+1]
+		out[i] = pen.Importance(p.entryIdxInt[lo:hi], p.coeffs[lo:hi])
 	}
 	return out
 }
 
 // Exact evaluates the batch exactly by one pass over the master list
-// (Batch-Biggest-B without the heap — the pure I/O-sharing exact algorithm
-// of Section 2.2). It performs exactly DistinctCoefficients retrievals.
+// (Batch-Biggest-B without the importance order — the pure I/O-sharing
+// exact algorithm of Section 2.2). It performs exactly
+// DistinctCoefficients retrievals, streaming linearly through the CSR
+// arrays.
 func (p *Plan) Exact(store storage.Store) []float64 {
 	est := make([]float64, p.NumQueries())
-	for i := range p.entries {
-		e := &p.entries[i]
-		v := store.Get(e.Key)
+	for i, key := range p.keys {
+		v := store.Get(key)
 		if v == 0 {
 			continue
 		}
-		for k, qi := range e.QueryIdx {
-			est[qi] += e.Coeffs[k] * v
+		idxs, cs := p.entryRefs(i)
+		for k, qi := range idxs {
+			est[qi] += cs[k] * v
 		}
 	}
 	return est
 }
 
-// entryHeap orders entry indices by descending importance, breaking ties by
-// ascending key for reproducible runs.
-type entryHeap struct {
-	idx        []int
-	importance []float64
-	keys       []int
-}
-
-func (h *entryHeap) Len() int { return len(h.idx) }
-func (h *entryHeap) Less(a, b int) bool {
-	ia, ib := h.idx[a], h.idx[b]
-	if h.importance[ia] != h.importance[ib] {
-		return h.importance[ia] > h.importance[ib]
-	}
-	return h.keys[ia] < h.keys[ib]
-}
-func (h *entryHeap) Swap(a, b int) { h.idx[a], h.idx[b] = h.idx[b], h.idx[a] }
-func (h *entryHeap) Push(x any)    { h.idx = append(h.idx, x.(int)) }
-func (h *entryHeap) Pop() any {
-	old := h.idx
-	n := len(old)
-	x := old[n-1]
-	h.idx = old[:n-1]
-	return x
-}
-
-// Run is one progressive execution of Batch-Biggest-B: it owns the
-// importance heap and the progressive estimates, advancing one retrieval per
-// Step. After the heap drains the estimates are exact.
+// Run is one progressive execution of Batch-Biggest-B. It is a cursor over
+// the plan's cached retrieval schedule (the static pop order of the
+// importance heap it replaced — see schedule.go) plus the progressive
+// estimates, advancing one retrieval per Step. Once the cursor reaches the
+// end of the schedule the estimates are exact.
 type Run struct {
-	plan        *Plan
-	store       storage.Store
-	pen         penalty.Penalty
-	heap        *entryHeap
-	estimates   []float64
-	retrieved   int
-	importances []float64
-	// remainingImportance tracks Σ ι_p(ξ) over unretrieved entries, which
-	// is trace(R) in the Theorem 2 expected-penalty formula.
-	remainingImportance float64
-	// popped marks retrieved entries; bounds holds the lazily-built
-	// per-query error-bound cursors (see bounds.go).
-	popped []bool
+	plan  *Plan
+	store storage.Store
+	pen   penalty.Penalty
+	sched *Schedule
+	// cursor is the schedule position: entries sched.order[:cursor] have
+	// been retrieved. It doubles as the retrieval count.
+	cursor    int
+	estimates []float64
+	// bounds holds the lazily-built per-query error-bound cursors
+	// (bounds.go).
 	bounds []queryBound
+	// batchVals is StepBatch's reusable fetch buffer.
+	batchVals []float64
 }
 
-// NewRun prepares a progressive run: computes every entry's importance under
-// the penalty (step 4 of Batch-Biggest-B) and builds the max-heap.
+// NewRun prepares a progressive run: it looks up (or builds once) the
+// plan's retrieval schedule under the penalty (step 4 of Batch-Biggest-B)
+// and allocates the estimate vector. Sharing the schedule across runs makes
+// this O(batch size) instead of the O(master list) heap initialization the
+// per-run heap paid; concurrent NewRun calls on one plan are safe.
 func NewRun(plan *Plan, pen penalty.Penalty, store storage.Store) *Run {
-	imps := plan.Importances(pen)
-	keys := make([]int, len(plan.entries))
-	idx := make([]int, len(plan.entries))
-	for i := range plan.entries {
-		keys[i] = plan.entries[i].Key
-		idx[i] = i
-	}
-	h := &entryHeap{idx: idx, importance: imps, keys: keys}
-	heap.Init(h)
-	var total float64
-	for _, v := range imps {
-		total += v
-	}
 	return &Run{
-		plan:                plan,
-		store:               store,
-		pen:                 pen,
-		heap:                h,
-		estimates:           make([]float64, plan.NumQueries()),
-		importances:         imps,
-		remainingImportance: total,
-		popped:              make([]bool, len(plan.entries)),
+		plan:      plan,
+		store:     store,
+		pen:       pen,
+		sched:     plan.ScheduleFor(pen),
+		estimates: make([]float64, plan.NumQueries()),
 	}
 }
 
-// Step extracts the most important unretrieved entry, fetches its
-// coefficient, and advances every query that needs it (step 5). It returns
-// false when the computation is complete.
+// entryRetrieved reports whether master-list entry i has been retrieved:
+// its schedule position lies before the cursor. This replaces the per-run
+// popped bitmap — the schedule's inverse permutation is shared by every run.
+func (r *Run) entryRetrieved(i int32) bool { return int(r.sched.pos[i]) < r.cursor }
+
+// Step retrieves the most important unretrieved entry — the next one in
+// schedule order — and advances every query that needs it (step 5). It
+// returns false when the computation is complete.
 func (r *Run) Step() bool {
-	if r.heap.Len() == 0 {
+	if r.cursor >= len(r.sched.order) {
 		return false
 	}
-	i := heap.Pop(r.heap).(int)
-	e := &r.plan.entries[i]
-	r.remainingImportance -= r.importances[i]
-	r.popped[i] = true
-	v := r.store.Get(e.Key)
-	r.retrieved++
+	i := r.sched.order[r.cursor]
+	r.cursor++
+	v := r.store.Get(r.plan.keys[i])
 	if v != 0 {
-		for k, qi := range e.QueryIdx {
-			r.estimates[qi] += e.Coeffs[k] * v
+		idxs, cs := r.plan.entryRefs(int(i))
+		for k, qi := range idxs {
+			r.estimates[qi] += cs[k] * v
 		}
 	}
 	return true
@@ -307,17 +287,18 @@ func (r *Run) StepN(n int) int {
 	return done
 }
 
-// RunToCompletion drains the heap; afterwards Estimates holds exact results.
+// RunToCompletion drains the schedule; afterwards Estimates holds exact
+// results.
 func (r *Run) RunToCompletion() {
 	for r.Step() {
 	}
 }
 
 // Done reports whether every entry has been retrieved.
-func (r *Run) Done() bool { return r.heap.Len() == 0 }
+func (r *Run) Done() bool { return r.cursor >= len(r.sched.order) }
 
 // Retrieved returns the number of coefficients fetched so far.
-func (r *Run) Retrieved() int { return r.retrieved }
+func (r *Run) Retrieved() int { return r.cursor }
 
 // Estimates returns the current progressive estimates. The slice is owned
 // by the run; callers must not modify it (use Snapshot for a copy).
@@ -333,37 +314,37 @@ func (r *Run) Snapshot() []float64 {
 // NextImportance returns ι_p of the most important unretrieved entry, or 0
 // when the run is complete.
 func (r *Run) NextImportance() float64 {
-	if r.heap.Len() == 0 {
+	if r.cursor >= len(r.sched.order) {
 		return 0
 	}
-	return r.importances[r.heap.idx[0]]
+	return r.sched.importances[r.sched.order[r.cursor]]
 }
 
 // WorstCaseBound returns the Theorem 1 bound K^α·ι_p(ξ′) on the penalty of
 // the current progressive estimate over all databases whose transformed
 // data vector has coefficient mass K = Σ_ξ|Δ̂[ξ]| equal to coefficientMass,
 // with α the penalty's homogeneity degree and ξ′ the most important
-// unretrieved wavelet.
+// unretrieved wavelet. α need not be an integer (Lp-norm combinations and
+// user penalties may have fractional degree); math.Pow handles the general
+// case and is exact for the common α ∈ {1, 2}.
 func (r *Run) WorstCaseBound(coefficientMass float64) float64 {
 	next := r.NextImportance()
 	if next == 0 {
 		return 0
 	}
-	alpha := r.pen.Homogeneity()
-	pow := 1.0
-	for i := 0; i < int(alpha); i++ {
-		pow *= coefficientMass
-	}
-	return pow * next
+	return math.Pow(coefficientMass, r.pen.Homogeneity()) * next
 }
 
 // RemainingImportance returns Σ ι_p(ξ) over the unretrieved entries — the
-// trace(R) of the Theorem 2 expected-penalty formula.
+// trace(R) of the Theorem 2 expected-penalty formula. The schedule
+// precomputes the value for every prefix with the same sequential
+// subtraction the heap loop performed, so mid-run values are bit-identical
+// to the retired heap implementation.
 func (r *Run) RemainingImportance() float64 {
-	if r.heap.Len() == 0 {
+	if r.cursor >= len(r.sched.order) {
 		return 0
 	}
-	return r.remainingImportance
+	return r.sched.remaining[r.cursor]
 }
 
 // ExpectedPenalty returns the Theorem 2 estimate of the penalty of the
@@ -398,22 +379,28 @@ func (r *Run) StepUntilBound(coefficientMass, target float64) int {
 }
 
 // RunWithCheckpoints advances the run, invoking fn at each requested
-// retrieval count (which must be ascending) and once more at completion.
-// Checkpoints beyond the master-list length are clipped to completion.
+// retrieval count and once more at completion. Checkpoints may arrive in
+// any order and may repeat: they are visited in ascending order, each at
+// most once; counts below the run's current position are skipped and counts
+// beyond the master list collapse into the completion callback.
 func (r *Run) RunWithCheckpoints(points []int, fn func(retrieved int, estimates []float64)) {
-	for _, p := range points {
-		if p < r.retrieved {
+	sorted := append([]int(nil), points...)
+	sort.Ints(sorted)
+	prev := -1
+	for _, p := range sorted {
+		if p < r.Retrieved() || p == prev {
 			continue
 		}
-		r.StepN(p - r.retrieved)
-		fn(r.retrieved, r.estimates)
+		prev = p
+		r.StepN(p - r.Retrieved())
+		fn(r.Retrieved(), r.estimates)
 		if r.Done() {
 			break
 		}
 	}
 	if !r.Done() {
 		r.RunToCompletion()
-		fn(r.retrieved, r.estimates)
+		fn(r.Retrieved(), r.estimates)
 	}
 }
 

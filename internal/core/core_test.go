@@ -342,13 +342,14 @@ func TestWorstCaseBoundHoldsOnAdversarialData(t *testing.T) {
 	if math.Abs(next-second) > 1e-12 {
 		t.Fatalf("NextImportance %g != second-largest %g", next, second)
 	}
-	adversarialKey := plan.entries[secondIdx].Key
+	adversarialKey := plan.keys[secondIdx]
+	secondIdxs, secondCoeffs := plan.entryRefs(secondIdx)
 	var sse float64
 	for qi := 0; qi < plan.NumQueries(); qi++ {
 		var qc float64
-		for k2, idx := range plan.entries[secondIdx].QueryIdx {
+		for k2, idx := range secondIdxs {
 			if int(idx) == qi {
-				qc = plan.entries[secondIdx].Coeffs[k2]
+				qc = secondCoeffs[k2]
 			}
 		}
 		errQ := k * qc

@@ -9,7 +9,7 @@ import (
 	"repro/internal/sparse"
 )
 
-func TestRemainingImportanceTracksHeap(t *testing.T) {
+func TestRemainingImportanceTracksSubtraction(t *testing.T) {
 	rng := rand.New(rand.NewSource(211))
 	plan, err := NewPlan(tinyBatch(rng, 3, 20), nil)
 	if err != nil {
@@ -57,14 +57,11 @@ func TestExpectedPenaltyMatchesMonteCarlo(t *testing.T) {
 	radius := 2.5
 	want := run.ExpectedPenalty(n, radius)
 
-	// Which keys remain? Those with nonzero contribution to remaining
-	// importance: replay the ordering.
+	// Which keys remain? The schedule's key view gives the retrieval order
+	// directly: the first Retrieved() keys are the retained set.
 	retained := map[int]bool{}
-	replay := NewRun(plan, pen, newSliceStore(make([]float64, n)))
-	for i := 0; i < run.Retrieved(); i++ {
-		idx := replay.heap.idx[0]
-		retained[plan.entries[idx].Key] = true
-		replay.Step()
+	for _, key := range run.sched.keys[:run.Retrieved()] {
+		retained[key] = true
 	}
 
 	const samples = 150000
@@ -84,14 +81,14 @@ func TestExpectedPenaltyMatchesMonteCarlo(t *testing.T) {
 		for q := range errs {
 			errs[q] = 0
 		}
-		for i := range plan.entries {
-			e := &plan.entries[i]
-			if retained[e.Key] {
+		for i, key := range plan.keys {
+			if retained[key] {
 				continue
 			}
-			v := data[e.Key]
-			for j, qi := range e.QueryIdx {
-				errs[qi] += e.Coeffs[j] * v
+			v := data[key]
+			idxs, cs := plan.entryRefs(i)
+			for j, qi := range idxs {
+				errs[qi] += cs[j] * v
 			}
 		}
 		mean += pen.Eval(errs)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,12 +39,40 @@ func clampWorkers(workers, items int) int {
 // (runs, strided levels) across shards (Fibonacci multiplicative hashing).
 const shardKeyHash = 0x9E3779B97F4A7C15
 
+// planEntry is the merge-time representation of one master-list entry; the
+// finished plan flattens the per-entry slices into the CSR arrays.
+type planEntry struct {
+	key      int
+	queryIdx []int32
+	coeffs   []float64
+}
+
+// newPlanCSR flattens key-sorted merge entries into the plan's CSR layout.
+func newPlanCSR(labels []string, entries []*planEntry, total int) *Plan {
+	p := &Plan{
+		Labels:                 append([]string(nil), labels...),
+		keys:                   make([]int, len(entries)),
+		offsets:                make([]int32, len(entries)+1),
+		queryIdx:               make([]int32, 0, total),
+		coeffs:                 make([]float64, 0, total),
+		totalQueryCoefficients: total,
+	}
+	for i, e := range entries {
+		p.keys[i] = e.key
+		p.offsets[i] = int32(len(p.queryIdx))
+		p.queryIdx = append(p.queryIdx, e.queryIdx...)
+		p.coeffs = append(p.coeffs, e.coeffs...)
+	}
+	p.offsets[len(entries)] = int32(len(p.queryIdx))
+	return p
+}
+
 // buildPlanParallel merges per-query coefficient emissions into a master
 // list using a worker pool. Workers own contiguous query blocks and write
 // into per-worker key-hash-sharded maps; shards are then merged concurrently
-// (worker order preserves ascending QueryIdx) and the entries sorted into
-// the canonical ascending-key order. The result is entry-for-entry identical
-// to the single-threaded merge.
+// (worker order preserves ascending query index) and the entries sorted into
+// the canonical ascending-key order before CSR flattening. The result is
+// entry-for-entry identical to the single-threaded merge.
 func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan, error) {
 	workers = clampWorkers(workers, n)
 	if workers == 1 {
@@ -56,7 +83,7 @@ func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan,
 	shift := 64 - log2(uint64(nShards))
 	shardOf := func(key int) int { return int((uint64(key) * shardKeyHash) >> shift) }
 
-	type shardMap map[int]*Entry
+	type shardMap map[int]*planEntry
 	locals := make([][]shardMap, workers)
 	totals := make([]int, workers)
 	errs := make([]error, workers)
@@ -78,11 +105,11 @@ func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan,
 					m := maps[shardOf(key)]
 					e, ok := m[key]
 					if !ok {
-						e = &Entry{Key: key}
+						e = &planEntry{key: key}
 						m[key] = e
 					}
-					e.QueryIdx = append(e.QueryIdx, qi32)
-					e.Coeffs = append(e.Coeffs, c)
+					e.queryIdx = append(e.queryIdx, qi32)
+					e.coeffs = append(e.coeffs, c)
 				})
 				if err != nil {
 					errs[w] = err
@@ -103,9 +130,9 @@ func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan,
 
 	// Merge each shard's per-worker maps, workers pulling shard indices from
 	// an atomic cursor. Appending worker 0's pairs first, then worker 1's,
-	// … keeps every entry's QueryIdx ascending, matching the sequential
+	// … keeps every entry's query indices ascending, matching the sequential
 	// query-order append.
-	shardEntries := make([][]*Entry, nShards)
+	shardEntries := make([][]*planEntry, nShards)
 	var cursor atomic.Int64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -124,11 +151,11 @@ func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan,
 							merged[key] = e
 							continue
 						}
-						dst.QueryIdx = append(dst.QueryIdx, e.QueryIdx...)
-						dst.Coeffs = append(dst.Coeffs, e.Coeffs...)
+						dst.queryIdx = append(dst.queryIdx, e.queryIdx...)
+						dst.coeffs = append(dst.coeffs, e.coeffs...)
 					}
 				}
-				out := make([]*Entry, 0, len(merged))
+				out := make([]*planEntry, 0, len(merged))
 				for _, e := range merged {
 					out = append(out, e)
 				}
@@ -145,24 +172,18 @@ func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan,
 	for _, se := range shardEntries {
 		count += len(se)
 	}
-	entries := make([]Entry, 0, count)
+	entries := make([]*planEntry, 0, count)
 	for _, se := range shardEntries {
-		for _, e := range se {
-			entries = append(entries, *e)
-		}
+		entries = append(entries, se...)
 	}
 	// Canonical deterministic base order (keys are distinct across shards).
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	return &Plan{
-		Labels:                 append([]string(nil), labels...),
-		entries:                entries,
-		totalQueryCoefficients: total,
-	}, nil
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	return newPlanCSR(labels, entries, total), nil
 }
 
 // buildPlanSeq is the single-threaded merge (steps 2–3 of Batch-Biggest-B).
 func buildPlanSeq(n int, labels []string, gen emitter) (*Plan, error) {
-	merged := make(map[int]*Entry)
+	merged := make(map[int]*planEntry)
 	total := 0
 	for qi := 0; qi < n; qi++ {
 		qi32 := int32(qi)
@@ -170,26 +191,22 @@ func buildPlanSeq(n int, labels []string, gen emitter) (*Plan, error) {
 			total++
 			e, ok := merged[key]
 			if !ok {
-				e = &Entry{Key: key}
+				e = &planEntry{key: key}
 				merged[key] = e
 			}
-			e.QueryIdx = append(e.QueryIdx, qi32)
-			e.Coeffs = append(e.Coeffs, c)
+			e.queryIdx = append(e.queryIdx, qi32)
+			e.coeffs = append(e.coeffs, c)
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
-	entries := make([]Entry, 0, len(merged))
+	entries := make([]*planEntry, 0, len(merged))
 	for _, e := range merged {
-		entries = append(entries, *e)
+		entries = append(entries, e)
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
-	return &Plan{
-		Labels:                 append([]string(nil), labels...),
-		entries:                entries,
-		totalQueryCoefficients: total,
-	}, nil
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	return newPlanCSR(labels, entries, total), nil
 }
 
 // qref is one element of a query's inverted coefficient list: the master
@@ -199,35 +216,28 @@ type qref struct {
 	coeff float64
 }
 
-// buildEvalIndex lazily builds the retrieval/apply indexes shared by every
-// ExactParallel call on this plan: the flat master key list (fetch phase)
-// and per-query inverted entry lists (apply phase). One backing array keeps
-// the inverted lists allocation-cheap.
+// buildEvalIndex lazily builds the per-query inverted entry lists used by
+// ExactParallel's apply phase. (The flat key list the fetch phase needs is
+// part of the CSR layout itself.) One backing array keeps the inverted
+// lists allocation-cheap.
 func (p *Plan) buildEvalIndex() {
 	p.evalOnce.Do(func() {
-		p.keys = make([]int, len(p.entries))
 		counts := make([]int, p.NumQueries())
-		for i := range p.entries {
-			p.keys[i] = p.entries[i].Key
-			for _, qi := range p.entries[i].QueryIdx {
-				counts[qi]++
-			}
+		for _, qi := range p.queryIdx {
+			counts[qi]++
 		}
-		totalRefs := 0
-		for _, c := range counts {
-			totalRefs += c
-		}
-		backing := make([]qref, totalRefs)
+		backing := make([]qref, len(p.queryIdx))
 		p.byQuery = make([][]qref, p.NumQueries())
 		off := 0
 		for qi, c := range counts {
 			p.byQuery[qi] = backing[off : off : off+c]
 			off += c
 		}
-		for i := range p.entries {
-			e := &p.entries[i]
-			for k, qi := range e.QueryIdx {
-				p.byQuery[qi] = append(p.byQuery[qi], qref{entry: int32(i), coeff: e.Coeffs[k]})
+		for i := range p.keys {
+			lo, hi := p.offsets[i], p.offsets[i+1]
+			for k := lo; k < hi; k++ {
+				qi := p.queryIdx[k]
+				p.byQuery[qi] = append(p.byQuery[qi], qref{entry: int32(i), coeff: p.coeffs[k]})
 			}
 		}
 	})
@@ -247,7 +257,7 @@ func (p *Plan) buildEvalIndex() {
 // which is what makes the results bit-identical rather than merely close.
 func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
 	est := make([]float64, p.NumQueries())
-	n := len(p.entries)
+	n := len(p.keys)
 	if n == 0 {
 		return est
 	}
@@ -306,41 +316,39 @@ func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
 	return est
 }
 
-// StepBatch pops up to b entries from the importance heap, fetches their
-// coefficients in one batched retrieval, and applies them in pop order. It
-// returns the number of entries advanced (0 when the run is complete). The
-// estimates after StepBatch(b) are bit-identical to b successive Step calls;
-// what changes is the storage traffic: one GetBatch — one lock round-trip on
-// a concurrent store, coalesced reads on a file store — instead of b Gets.
+// StepBatch advances up to b entries in one batched retrieval and returns
+// the number advanced (0 when the run is complete). Because the retrieval
+// order is a precomputed schedule, the next b storage keys are known before
+// any store access: StepBatch hands the schedule's own key subslice to
+// storage.BatchGet — a true prefetch with zero per-batch key copying — then
+// applies the values in schedule order. The estimates after StepBatch(b)
+// are bit-identical to b successive Step calls; what changes is the storage
+// traffic: one GetBatch — one lock round-trip on a concurrent store,
+// coalesced reads on a file store — instead of b Gets.
 func (r *Run) StepBatch(b int) int {
-	if b > r.heap.Len() {
-		b = r.heap.Len()
+	if remaining := len(r.sched.order) - r.cursor; b > remaining {
+		b = remaining
 	}
 	if b <= 0 {
 		return 0
 	}
-	idxs := make([]int, b)
-	keys := make([]int, b)
-	for j := 0; j < b; j++ {
-		i := heap.Pop(r.heap).(int)
-		idxs[j] = i
-		keys[j] = r.plan.entries[i].Key
-		r.remainingImportance -= r.importances[i]
-		r.popped[i] = true
+	if cap(r.batchVals) < b {
+		r.batchVals = make([]float64, b)
 	}
-	vals := make([]float64, b)
-	storage.BatchGet(r.store, keys, vals)
-	r.retrieved += b
-	for j, i := range idxs {
+	vals := r.batchVals[:b]
+	storage.BatchGet(r.store, r.sched.keys[r.cursor:r.cursor+b], vals)
+	for j := 0; j < b; j++ {
 		v := vals[j]
 		if v == 0 {
 			continue
 		}
-		e := &r.plan.entries[i]
-		for k, qi := range e.QueryIdx {
-			r.estimates[qi] += e.Coeffs[k] * v
+		i := r.sched.order[r.cursor+j]
+		idxs, cs := r.plan.entryRefs(int(i))
+		for k, qi := range idxs {
+			r.estimates[qi] += cs[k] * v
 		}
 	}
+	r.cursor += b
 	return b
 }
 

@@ -18,6 +18,7 @@ type benchPlanFixture struct {
 	plan    *Plan
 	store   *storage.HashStore
 	sharded *storage.ShardedStore
+	array   *storage.ArrayStore
 }
 
 func newBenchPlanFixture(b *testing.B) *benchPlanFixture {
@@ -45,7 +46,13 @@ func newBenchPlanFixture(b *testing.B) *benchPlanFixture {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return &benchPlanFixture{batch: batch, plan: plan, store: store, sharded: sharded}
+	return &benchPlanFixture{
+		batch:   batch,
+		plan:    plan,
+		store:   store,
+		sharded: sharded,
+		array:   storage.NewArrayStore(hat),
+	}
 }
 
 // BenchmarkPlanParallel measures master-list construction (query rewriting +

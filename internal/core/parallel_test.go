@@ -25,8 +25,9 @@ func planBatch(t *testing.T, schema *dataset.Schema, numRanges int, attr string)
 	return batch
 }
 
-// assertPlansIdentical fails unless the two plans are entry-for-entry
-// identical: labels, totals, keys, QueryIdx and bit-identical coefficients.
+// assertPlansIdentical fails unless the two plans' CSR arrays are
+// element-for-element identical: labels, totals, keys, offsets, query
+// indices and bit-identical coefficients.
 func assertPlansIdentical(t *testing.T, a, b *Plan, ctx string) {
 	t.Helper()
 	if len(a.Labels) != len(b.Labels) {
@@ -40,24 +41,23 @@ func assertPlansIdentical(t *testing.T, a, b *Plan, ctx string) {
 	if a.totalQueryCoefficients != b.totalQueryCoefficients {
 		t.Fatalf("%s: totals %d vs %d", ctx, a.totalQueryCoefficients, b.totalQueryCoefficients)
 	}
-	if len(a.entries) != len(b.entries) {
-		t.Fatalf("%s: %d vs %d entries", ctx, len(a.entries), len(b.entries))
+	if len(a.keys) != len(b.keys) {
+		t.Fatalf("%s: %d vs %d entries", ctx, len(a.keys), len(b.keys))
 	}
-	for i := range a.entries {
-		ea, eb := &a.entries[i], &b.entries[i]
-		if ea.Key != eb.Key {
-			t.Fatalf("%s: entry %d key %d vs %d", ctx, i, ea.Key, eb.Key)
+	for i := range a.keys {
+		if a.keys[i] != b.keys[i] {
+			t.Fatalf("%s: entry %d key %d vs %d", ctx, i, a.keys[i], b.keys[i])
 		}
-		if len(ea.QueryIdx) != len(eb.QueryIdx) {
-			t.Fatalf("%s: entry %d has %d vs %d query refs", ctx, i, len(ea.QueryIdx), len(eb.QueryIdx))
+		if a.offsets[i+1] != b.offsets[i+1] {
+			t.Fatalf("%s: entry %d offset %d vs %d", ctx, i, a.offsets[i+1], b.offsets[i+1])
 		}
-		for k := range ea.QueryIdx {
-			if ea.QueryIdx[k] != eb.QueryIdx[k] {
-				t.Fatalf("%s: entry %d ref %d query %d vs %d", ctx, i, k, ea.QueryIdx[k], eb.QueryIdx[k])
-			}
-			if ea.Coeffs[k] != eb.Coeffs[k] {
-				t.Fatalf("%s: entry %d ref %d coeff %g vs %g", ctx, i, k, ea.Coeffs[k], eb.Coeffs[k])
-			}
+	}
+	for k := range a.queryIdx {
+		if a.queryIdx[k] != b.queryIdx[k] {
+			t.Fatalf("%s: ref %d query %d vs %d", ctx, k, a.queryIdx[k], b.queryIdx[k])
+		}
+		if a.coeffs[k] != b.coeffs[k] {
+			t.Fatalf("%s: ref %d coeff %g vs %g", ctx, k, a.coeffs[k], b.coeffs[k])
 		}
 	}
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/penalty"
+)
+
+// Schedule is the static retrieval order of Batch-Biggest-B for one
+// (plan, penalty) pair. Importances are fixed for the lifetime of a plan,
+// so the entire pop sequence of the importance heap the original
+// implementation drained is computable once, up front, by a sort under the
+// heap's strict total order: importance descending, key ascending. Keys are
+// distinct within a plan, so the order — and therefore every progressive
+// estimate — is fully deterministic and identical to the heap's.
+//
+// A Schedule is immutable and shared: it is built at most once per penalty
+// fingerprint (see Plan.ScheduleFor) and read concurrently by every run on
+// the plan.
+type Schedule struct {
+	// order[j] is the master-list entry retrieved at step j.
+	order []int32
+	// pos is the inverse permutation: pos[i] is entry i's step. A run has
+	// retrieved entry i iff pos[i] < its cursor, which replaces the per-run
+	// popped bitmap the heap implementation allocated.
+	pos []int32
+	// keys[j] is the storage key retrieved at step j — the schedule-order
+	// view of plan.keys, materialized so StepBatch can hand a subslice
+	// straight to storage.BatchGet without per-batch copying.
+	keys []int
+	// importances[i] is ι_p of master-list entry i (plan order, matching
+	// Plan.Importances).
+	importances []float64
+	// remaining[j] is Σ ι_p over entries not yet retrieved after j steps
+	// (len = number of entries + 1; remaining[n] is the residual of the
+	// subtraction chain, reported as exactly 0 by the run). It is computed
+	// by sequentially subtracting importances in retrieval order — the same
+	// float operation sequence the heap loop performed — so mid-run values
+	// are bit-identical to the retired implementation, where a suffix sum
+	// would not be.
+	remaining []float64
+}
+
+// buildSchedule computes the retrieval schedule for the plan under the
+// penalty: the importance vector, the sorted order, its inverse, and the
+// per-prefix remaining-importance chain.
+func buildSchedule(p *Plan, pen penalty.Penalty) *Schedule {
+	n := len(p.keys)
+	s := &Schedule{
+		order:       make([]int32, n),
+		pos:         make([]int32, n),
+		keys:        make([]int, n),
+		importances: p.Importances(pen),
+		remaining:   make([]float64, n+1),
+	}
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ia, ib := s.order[a], s.order[b]
+		if s.importances[ia] != s.importances[ib] {
+			return s.importances[ia] > s.importances[ib]
+		}
+		return p.keys[ia] < p.keys[ib]
+	})
+	// The heap seeded its running total by summing importances in plan
+	// (ascending-key) order, then subtracted the popped entry's importance
+	// each step. Replay exactly that operation sequence.
+	total := 0.0
+	for _, imp := range s.importances {
+		total += imp
+	}
+	s.remaining[0] = total
+	for j, e := range s.order {
+		s.pos[e] = int32(j)
+		s.keys[j] = p.keys[e]
+		s.remaining[j+1] = s.remaining[j] - s.importances[e]
+	}
+	return s
+}
+
+// scheduleSlot is one cache cell: the sync.Once lets the build run outside
+// the plan's schedule mutex while still happening exactly once.
+type scheduleSlot struct {
+	once sync.Once
+	s    *Schedule
+}
+
+// ScheduleFor returns the plan's retrieval schedule under the penalty,
+// building and caching it on first use. The cache is keyed by
+// penalty.Fingerprint, so distinct penalty values with the same importance
+// function share one schedule. Safe for concurrent use: many goroutines may
+// request schedules (same or different penalties) at once and each schedule
+// is built exactly once.
+func (p *Plan) ScheduleFor(pen penalty.Penalty) *Schedule {
+	key := pen.Fingerprint()
+	p.schedMu.Lock()
+	if p.schedules == nil {
+		p.schedules = make(map[string]*scheduleSlot)
+	}
+	slot, ok := p.schedules[key]
+	if !ok {
+		slot = &scheduleSlot{}
+		p.schedules[key] = slot
+	}
+	p.schedMu.Unlock()
+	slot.once.Do(func() { slot.s = buildSchedule(p, pen) })
+	return slot.s
+}
+
+// cachedSchedules reports how many distinct schedules the plan has built —
+// test hook for the cache's build-once guarantee.
+func (p *Plan) cachedSchedules() int {
+	p.schedMu.Lock()
+	defer p.schedMu.Unlock()
+	return len(p.schedules)
+}

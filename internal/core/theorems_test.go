@@ -46,15 +46,15 @@ func tinyBatch(rng *rand.Rand, s, n int) []sparse.Vector {
 func worstCasePenalty(t *testing.T, plan *Plan, pen penalty.Penalty, retained map[int]bool, k float64) float64 {
 	t.Helper()
 	worst := 0.0
-	for i := range plan.entries {
-		e := &plan.entries[i]
-		if retained[e.Key] {
+	for i, key := range plan.keys {
+		if retained[key] {
 			continue
 		}
 		// Error vector if the whole mass K sits at this key: err_q = K·q̂_q[ξ].
 		errs := make([]float64, plan.NumQueries())
-		for j, qi := range e.QueryIdx {
-			errs[qi] = k * e.Coeffs[j]
+		idxs, cs := plan.entryRefs(i)
+		for j, qi := range idxs {
+			errs[qi] = k * cs[j]
 		}
 		if p := pen.Eval(errs); p > worst {
 			worst = p
@@ -91,13 +91,13 @@ func TestTheorem1BiggestBMinimizesWorstCase(t *testing.T) {
 				if imps[order[a]] != imps[order[b]] {
 					return imps[order[a]] > imps[order[b]]
 				}
-				return plan.entries[order[a]].Key < plan.entries[order[b]].Key
+				return plan.keys[order[a]] < plan.keys[order[b]]
 			})
 			for b := 0; b <= m; b++ {
 				// Biggest-B subset.
 				biggest := map[int]bool{}
 				for _, i := range order[:b] {
-					biggest[plan.entries[i].Key] = true
+					biggest[plan.keys[i]] = true
 				}
 				bestWorst := worstCasePenalty(t, plan, pen, biggest, 1.7)
 				// Every other B-subset.
@@ -107,7 +107,7 @@ func TestTheorem1BiggestBMinimizesWorstCase(t *testing.T) {
 					if depth == b {
 						retained := map[int]bool{}
 						for _, i := range subset {
-							retained[plan.entries[i].Key] = true
+							retained[plan.keys[i]] = true
 						}
 						w := worstCasePenalty(t, plan, pen, retained, 1.7)
 						if w < bestWorst-1e-9*(1+bestWorst) {
@@ -144,9 +144,9 @@ func TestTheorem1BoundAttained(t *testing.T) {
 		// Retain a random subset.
 		retained := map[int]bool{}
 		var maxUnused float64
-		for i := range plan.entries {
+		for i, key := range plan.keys {
 			if rng.Intn(2) == 0 {
-				retained[plan.entries[i].Key] = true
+				retained[key] = true
 			} else if imps[i] > maxUnused {
 				maxUnused = imps[i]
 			}
@@ -189,7 +189,7 @@ func TestTheorem2TraceFormula(t *testing.T) {
 	var traceR float64
 	for rank, i := range order {
 		if rank < len(order)/2 {
-			retained[plan.entries[i].Key] = true
+			retained[plan.keys[i]] = true
 		} else {
 			traceR += imps[i]
 		}
@@ -215,14 +215,14 @@ func TestTheorem2TraceFormula(t *testing.T) {
 		for q := range errs {
 			errs[q] = 0
 		}
-		for i := range plan.entries {
-			e := &plan.entries[i]
-			if retained[e.Key] {
+		for i, key := range plan.keys {
+			if retained[key] {
 				continue
 			}
-			v := data[e.Key]
-			for j, qi := range e.QueryIdx {
-				errs[qi] += e.Coeffs[j] * v
+			v := data[key]
+			idxs, cs := plan.entryRefs(i)
+			for j, qi := range idxs {
+				errs[qi] += cs[j] * v
 			}
 		}
 		mean += pen.Eval(errs)
@@ -318,10 +318,10 @@ func TestProgressiveRunRealizesBiggestB(t *testing.T) {
 		if imps[order[a]] != imps[order[b]] {
 			return imps[order[a]] > imps[order[b]]
 		}
-		return plan.entries[order[a]].Key < plan.entries[order[b]].Key
+		return plan.keys[order[a]] < plan.keys[order[b]]
 	})
-	// Zero store: estimates stay zero; we only watch the retrieval order by
-	// draining the heap and matching NextImportance.
+	// Zero store: estimates stay zero; we only watch the retrieval order
+	// through NextImportance as the schedule cursor advances.
 	zero := sparse.New().Dense(64)
 	run := NewRun(plan, pen, newSliceStore(zero))
 	for step := 0; !run.Done(); step++ {

@@ -12,6 +12,11 @@ import (
 // insertion: Δ ← Δ + δ_x implies Δ̂ ← Δ̂ + δ̂_x, and the impulse transform
 // factors per dimension, giving O((L·log N)^d) coefficient updates — the
 // update-efficiency argument of Section 2.1 (O(log^d N) for Haar).
+//
+// Updates touch only the stored data transform, never query plans:
+// importances ι_p(ξ) depend on the query coefficients alone, so plans and
+// their cached retrieval schedules stay valid across insertions and
+// deletions.
 func InsertTuple(store storage.Updatable, f *wavelet.Filter, dims []int, coords []int) error {
 	return addImpulse(store, f, dims, coords, 1)
 }

@@ -1,0 +1,110 @@
+package penalty
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFingerprintDistinguishesPenalties checks that penalties with different
+// importance functions get different fingerprints — the property the
+// schedule cache depends on to never serve a stale retrieval order.
+func TestFingerprintDistinguishesPenalties(t *testing.T) {
+	w1, err := NewWeighted([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := NewWeighted([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3, err := NewWeighted([]float64{1, 2, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap, err := NewLaplacian(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := NewFirstDifference(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := NewLpNorm(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLpNorm(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linf, err := NewLpNorm(math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, err := NewQuadraticForm([][]float64{{2, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf2, err := NewQuadraticForm([][]float64{{2, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo, err := NewCombo([]float64{1, 0.5}, []Penalty{SSE{}, lap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combo2, err := NewCombo([]float64{1, 0.25}, []Penalty{SSE{}, lap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pens := []Penalty{SSE{}, w1, w2, w3, lap, fd, l1, l2, linf, qf, qf2, combo, combo2}
+	seen := map[string]string{}
+	for _, p := range pens {
+		fp := p.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %s and %s both map to %q", prev, p.Name(), fp)
+		}
+		seen[fp] = p.Name()
+	}
+}
+
+// TestFingerprintStableAcrossConstruction checks that equal importance
+// functions fingerprint equally even when built through different
+// constructors or renamed — so equivalent runs share one cached schedule.
+func TestFingerprintStableAcrossConstruction(t *testing.T) {
+	if (SSE{}).Fingerprint() != (SSE{}).Fingerprint() {
+		t.Fatal("SSE fingerprint unstable")
+	}
+	// Cursored is a renamed Weighted; same weights must share a fingerprint.
+	cur, err := Cursored(4, []int{1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWeighted([]float64{1, 10, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Fingerprint() != w.Fingerprint() {
+		t.Fatalf("Cursored %q != equal-weights Weighted %q", cur.Fingerprint(), w.Fingerprint())
+	}
+	// Sobolev wraps a Combo in a renaming shim; the fingerprint must come
+	// through the embedding untouched.
+	s1, err := NewSobolev(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSobolev(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("Sobolev fingerprint unstable")
+	}
+	s3, err := NewSobolev(5, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Fingerprint() == s3.Fingerprint() {
+		t.Fatal("Sobolev λ change must change the fingerprint")
+	}
+}

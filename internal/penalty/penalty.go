@@ -15,8 +15,11 @@
 package penalty
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sort"
 )
 
 // Penalty is a structural error penalty function on batch error vectors.
@@ -33,6 +36,30 @@ type Penalty interface {
 	// Homogeneity returns the degree α with p(c·e) = |c|^α·p(e):
 	// 2 for quadratic forms, 1 for norms.
 	Homogeneity() float64
+	// Fingerprint returns a stable canonical identifier of the penalty's
+	// importance function: two penalties with equal fingerprints assign
+	// equal importance to every sparse coefficient vector. Plans key their
+	// cached retrieval schedules by fingerprint, so it must cover every
+	// parameter Importance depends on (weights, neighbor structure, p, the
+	// quadratic form matrix) but not cosmetic state such as display names.
+	Fingerprint() string
+}
+
+// fingerprintFloats hashes float64 parameter vectors (length-prefixed, raw
+// IEEE-754 bits, FNV-1a) under a short scheme prefix — the shared helper
+// behind the parameterized penalties' Fingerprint methods.
+func fingerprintFloats(scheme string, vecs ...[]float64) string {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, vs := range vecs {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(vs)))
+		h.Write(b[:])
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			h.Write(b[:])
+		}
+	}
+	return fmt.Sprintf("%s:%016x", scheme, h.Sum64())
 }
 
 // SSE is the sum of squared errors Σ e_i² — the paper's p_SSE, and the
@@ -62,6 +89,9 @@ func (SSE) Importance(_ []int, vals []float64) float64 {
 
 // Homogeneity implements Penalty.
 func (SSE) Homogeneity() float64 { return 2 }
+
+// Fingerprint implements Penalty. SSE has no parameters.
+func (SSE) Fingerprint() string { return "sse" }
 
 // Weighted is a diagonal quadratic penalty Σ w_i·e_i² with w_i ≥ 0. Zero
 // weights declare errors irrelevant, which Definition 2 explicitly allows
@@ -140,6 +170,11 @@ func (p *Weighted) Importance(idxs []int, vals []float64) float64 {
 
 // Homogeneity implements Penalty.
 func (p *Weighted) Homogeneity() float64 { return 2 }
+
+// Fingerprint implements Penalty: the weight vector determines the
+// importance function (the display name does not — a Cursored penalty and a
+// NewWeighted with the same weights share a schedule).
+func (p *Weighted) Fingerprint() string { return fingerprintFloats("weighted", p.weights) }
 
 // Smoothness is a quadratic penalty on a linear difference operator:
 // p(e) = Σ_i ((De)_i)² where row i of D is Σ_{j∈N(i)} e_j − |N(i)|·e_i
@@ -296,8 +331,16 @@ func (p *Smoothness) Importance(idxs []int, vals []float64) float64 {
 			}
 		}
 	}
-	var s float64
+	// Sum rows in ascending order: map iteration order would reorder the
+	// float additions and make equal calls disagree in the last ulp, which
+	// the engine's bit-identical-importance invariant cannot tolerate.
+	order := make([]int, 0, len(rows))
 	for i := range rows {
+		order = append(order, i)
+	}
+	sort.Ints(order)
+	var s float64
+	for _, i := range order {
 		r := p.row(i, at)
 		s += r * r
 	}
@@ -306,6 +349,27 @@ func (p *Smoothness) Importance(idxs []int, vals []float64) float64 {
 
 // Homogeneity implements Penalty.
 func (p *Smoothness) Homogeneity() float64 { return 2 }
+
+// Fingerprint implements Penalty: the difference operator is determined by
+// the neighbor lists and the per-row self coefficients.
+func (p *Smoothness) Fingerprint() string {
+	h := fnv.New64a()
+	var b [8]byte
+	writeInt := func(x int) {
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		h.Write(b[:])
+	}
+	writeInt(len(p.neighbors))
+	for i, ns := range p.neighbors {
+		writeInt(len(ns))
+		for _, j := range ns {
+			writeInt(j)
+		}
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(p.selfCoeff[i]))
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("smooth:%016x", h.Sum64())
+}
 
 // NewSobolev builds the discrete Sobolev (H¹-style) penalty
 // p(e) = Σ e_i² + λ·Σ (e_{i+1}−e_i)² over a query chain — Definition 2
@@ -396,6 +460,9 @@ func (n *LpNorm) norm(vals []float64) float64 {
 // Homogeneity implements Penalty.
 func (n *LpNorm) Homogeneity() float64 { return 1 }
 
+// Fingerprint implements Penalty.
+func (n *LpNorm) Fingerprint() string { return fingerprintFloats("lp", []float64{n.p}) }
+
 // QuadraticForm is an arbitrary quadratic penalty e → eᵀAe for a symmetric
 // positive semi-definite matrix A — the fully general quadratic structural
 // error penalty of Definition 2, accepted "at query time" as Observation 3
@@ -471,6 +538,9 @@ func (q *QuadraticForm) Importance(idxs []int, vals []float64) float64 {
 // Homogeneity implements Penalty.
 func (q *QuadraticForm) Homogeneity() float64 { return 2 }
 
+// Fingerprint implements Penalty: the matrix is the penalty.
+func (q *QuadraticForm) Fingerprint() string { return fingerprintFloats("qf", q.a...) }
+
 // Combo is a non-negative linear combination of penalties with equal
 // homogeneity degree — "linear combinations of quadratic penalty functions
 // are still quadratic penalty functions, allowing them to be mixed
@@ -532,3 +602,16 @@ func (c *Combo) Importance(idxs []int, vals []float64) float64 {
 
 // Homogeneity implements Penalty.
 func (c *Combo) Homogeneity() float64 { return c.parts[0].Homogeneity() }
+
+// Fingerprint implements Penalty: the weights (raw bits) and the parts'
+// fingerprints, in order.
+func (c *Combo) Fingerprint() string {
+	s := "combo["
+	for i, p := range c.parts {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%016x*%s", math.Float64bits(c.weights[i]), p.Fingerprint())
+	}
+	return s + "]"
+}

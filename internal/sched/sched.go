@@ -23,6 +23,13 @@
 // bit-identical to the same number of Run.Step calls, so a scheduled run's
 // estimates at any retrieval count are value-identical to an unscheduled
 // run's — whatever the slice size, worker count, or competing load.
+//
+// The core engine works in this package's favor twice over: runs sharing a
+// (plan, penalty) pair share one cached retrieval schedule, so admitting a
+// run costs O(batch size) rather than a heap build over the master list,
+// and each StepBatch slice prefetches its whole quantum of keys in a single
+// batched store call (which is also what gives the coalescing store a full
+// window of overlappable fetches).
 package sched
 
 import (

@@ -252,7 +252,9 @@ func (db *Database) CoefficientMass() float64 {
 }
 
 // Plan rewrites a batch into its merged master list under the database's
-// filter. The plan is reusable across runs and penalties.
+// filter. The plan is immutable and reusable across runs and penalties —
+// including concurrently: any number of goroutines may start runs on one
+// plan, which all share its cached per-penalty retrieval schedule.
 func (db *Database) Plan(batch Batch) (*Plan, error) {
 	for _, q := range batch {
 		if !q.Schema.Equal(db.schema) {
@@ -339,7 +341,10 @@ func (db *Database) CoalescingStats() (stats CoalesceStats, ok bool) {
 	return cs.Stats(), true
 }
 
-// NewRun starts a progressive Batch-Biggest-B run under the penalty.
+// NewRun starts a progressive Batch-Biggest-B run under the penalty. The
+// retrieval order is served from the plan's schedule cache, so after the
+// first run under a given penalty this is cheap — repeated and concurrent
+// runs on one plan share a single precomputed schedule.
 func (db *Database) NewRun(plan *Plan, pen Penalty) *Run {
 	return core.NewRun(plan, pen, db.store)
 }

@@ -51,7 +51,9 @@ func (s *Session) ExactParallel(plan *Plan, workers int) []float64 {
 	return plan.ExactParallel(s.store, workers)
 }
 
-// NewRun starts a progressive run through the session cache.
+// NewRun starts a progressive run through the session cache. Retrieval
+// ordering comes from the plan's shared schedule cache, so repeating a
+// batch under the same penalty pays no per-run ordering cost.
 func (s *Session) NewRun(plan *Plan, pen Penalty) *Run {
 	return core.NewRun(plan, pen, s.store)
 }
