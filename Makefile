@@ -1,20 +1,27 @@
-# Development targets. `make check` is the gate: vet + build + tests +
-# race-enabled tests, in that order, failing fast. `make cover` prints a
-# per-package coverage summary. `make bench` runs the parallel-engine and
-# scheduler benchmarks at a fixed iteration count (numbers recorded in
-# BENCH_parallel.json and BENCH_sched.json); `make bench-core` runs the
-# CSR/schedule benches behind BENCH_core.json.
+# Development targets. `make check` is the gate: vet + errlint + build +
+# tests + race-enabled tests, in that order, failing fast. `make cover`
+# prints a per-package coverage summary. `make bench` runs the
+# parallel-engine and scheduler benchmarks at a fixed iteration count
+# (numbers recorded in BENCH_parallel.json and BENCH_sched.json);
+# `make bench-core` runs the CSR/schedule benches behind BENCH_core.json;
+# `make bench-robust` runs the fallible-path overhead benches behind
+# BENCH_robust.json.
 
 GO ?= go
 
-.PHONY: all check vet build test race cover bench bench-core bench-sched bench-all
+.PHONY: all check vet errlint build test race cover bench bench-core bench-sched bench-robust bench-all
 
 all: check
 
-check: vet build test race
+check: vet errlint build test race
 
 vet:
 	$(GO) vet ./...
+
+# Dependency-free errcheck equivalent (tools/errlint): no call may silently
+# drop an error result.
+errlint:
+	$(GO) run ./tools/errlint ./...
 
 build:
 	$(GO) build ./...
@@ -43,6 +50,12 @@ bench-core:
 # the same workload as sequential per-request runs.
 bench-sched:
 	$(GO) test -run NONE -bench 'BenchmarkScheduler' -benchtime=20x ./internal/sched/
+
+# Robustness-layer benchmarks behind BENCH_robust.json: fallible-vs-
+# infallible exact pass and progressive drain, plus the zero-fault cost of
+# the chaos injector and an idle retry layer.
+bench-robust:
+	$(GO) test -run NONE -bench 'BenchmarkExactFallible|BenchmarkDrainFallible|BenchmarkZeroFaultInjector|BenchmarkIdleRetryLayer' -benchmem -benchtime=100x ./internal/core/
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -161,12 +161,20 @@ func execute(sess *repro.Session, db *repro.Database, qsrc string, budget int) e
 	}
 	// Progressive: print per-query worst-case error bars (Theorem 1 applied
 	// per query with K = Σ|Δ̂|).
-	mass := db.CoefficientMass()
+	mass, massErr := db.CoefficientMass()
 	fmt.Printf("expected SSE for unit-mass random data: %.4g (Theorem 2)\n",
 		run.ExpectedPenalty(db.Schema().Cells(), 1))
-	fmt.Printf("%-60s %18s %16s\n", "query", "estimate", "± worst case")
-	for i, q := range batch {
-		fmt.Printf("%-60s %18.2f %16.4g\n", q.Label, run.Estimates()[i], run.QueryErrorBound(i, mass))
+	if massErr != nil {
+		fmt.Printf("%-60s %18s\n", "query", "estimate")
+		for i, q := range batch {
+			fmt.Printf("%-60s %18.2f\n", q.Label, run.Estimates()[i])
+		}
+		fmt.Println("(no error bars: " + massErr.Error() + ")")
+	} else {
+		fmt.Printf("%-60s %18s %16s\n", "query", "estimate", "± worst case")
+		for i, q := range batch {
+			fmt.Printf("%-60s %18.2f %16.4g\n", q.Label, run.Estimates()[i], run.QueryErrorBound(i, mass))
+		}
 	}
 	fmt.Println("(estimates are progressive; raise the budget for exact results)")
 	return nil

@@ -52,6 +52,18 @@ func main() {
 		workers      = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+
+		// Robustness: retry policy over the store's fallible path, and a
+		// deterministic chaos injector underneath it for resilience drills.
+		retryAttempts = flag.Int("retry-attempts", 0, "retry failed retrievals up to N attempts (0 = no retry layer)")
+		retryBase     = flag.Duration("retry-base", 0, "base backoff delay between retry attempts (0 = default 1ms)")
+		retryTimeout  = flag.Duration("retry-timeout", 0, "per-attempt retrieval timeout (0 = none)")
+
+		chaosErrRate   = flag.Float64("chaos-error-rate", 0, "inject retrieval errors on this fraction of keys [0,1)")
+		chaosErrEvery  = flag.Int("chaos-error-every", 0, "inject a retrieval error every Nth fallible call (0 = off)")
+		chaosDelayRate = flag.Float64("chaos-delay-rate", 0, "inject latency on this fraction of keys [0,1)")
+		chaosDelay     = flag.Duration("chaos-delay", 0, "latency injected on delayed retrievals")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "seed of the deterministic chaos schedule")
 	)
 	flag.Parse()
 	cfg := sched.Config{
@@ -60,21 +72,58 @@ func main() {
 		Slice:     *slice,
 		Workers:   *workers,
 	}
-	if err := run(*dbPath, *addr, *pprofAddr, cfg, *drainTimeout); err != nil {
+	robust := robustConfig{
+		retry: repro.RetryConfig{
+			MaxAttempts:    *retryAttempts,
+			BaseDelay:      *retryBase,
+			AttemptTimeout: *retryTimeout,
+		},
+		chaos: repro.FaultConfig{
+			ErrorRate:  *chaosErrRate,
+			ErrorEvery: *chaosErrEvery,
+			DelayRate:  *chaosDelayRate,
+			Delay:      *chaosDelay,
+			Seed:       *chaosSeed,
+		},
+	}
+	if err := run(*dbPath, *addr, *pprofAddr, cfg, robust, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "wvqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, addr, pprofAddr string, cfg sched.Config, drainTimeout time.Duration) error {
+// robustConfig gathers the optional robustness layers wrapped around the
+// store before the server is built: chaos injection first (innermost), then
+// retries, so the retry layer exercises and recovers the injected faults.
+type robustConfig struct {
+	retry repro.RetryConfig
+	chaos repro.FaultConfig
+}
+
+func (r robustConfig) chaosEnabled() bool {
+	return r.chaos.ErrorRate > 0 || r.chaos.ErrorEvery > 0 ||
+		r.chaos.DelayRate > 0 || r.chaos.DelayEvery > 0
+}
+
+func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, drainTimeout time.Duration) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
 	}
 	db, err := repro.LoadDatabase(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		return err
+	}
+	if robust.chaosEnabled() {
+		db.InjectFaults(robust.chaos) // daemon-lifetime: restore fn not needed
+		fmt.Printf("wvqd: chaos injection on (error-rate %g, error-every %d, delay-rate %g, delay %v, seed %d)\n",
+			robust.chaos.ErrorRate, robust.chaos.ErrorEvery,
+			robust.chaos.DelayRate, robust.chaos.Delay, robust.chaos.Seed)
+	}
+	if robust.retry.MaxAttempts > 0 {
+		db.EnableRetries(robust.retry)
+		fmt.Printf("wvqd: retries on (max %d attempts)\n", robust.retry.MaxAttempts)
 	}
 	fmt.Printf("serving %s on %s: %d tuples over %v/%v (%d coefficients, filter %s)\n",
 		dbPath, addr, db.TupleCount(), db.Schema().Names, db.Schema().Sizes,

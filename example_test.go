@@ -70,10 +70,14 @@ func ExampleDatabase_NewRun() {
 	}
 	run := db.NewRun(plan, repro.SSE())
 	run.StepN(10)
-	boundEarly := run.WorstCaseBound(db.CoefficientMass())
+	mass, err := db.CoefficientMass()
+	if err != nil {
+		log.Fatal(err)
+	}
+	boundEarly := run.WorstCaseBound(mass)
 	run.RunToCompletion()
 	fmt.Printf("early bound positive: %v, final bound: %.0f\n",
-		boundEarly > 0, run.WorstCaseBound(db.CoefficientMass()))
+		boundEarly > 0, run.WorstCaseBound(mass))
 	// Output: early bound positive: true, final bound: 0
 }
 

@@ -100,7 +100,11 @@ func TestCoefficientMassMatchesEnumeration(t *testing.T) {
 	for _, v := range hat {
 		want += math.Abs(v)
 	}
-	if got := db.CoefficientMass(); math.Abs(got-want) > 1e-9*(1+want) {
+	got, err := db.CoefficientMass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9*(1+want) {
 		t.Fatalf("CoefficientMass = %g, want %g", got, want)
 	}
 }

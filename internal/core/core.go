@@ -237,6 +237,17 @@ type Run struct {
 	bounds []queryBound
 	// batchVals is StepBatch's reusable fetch buffer.
 	batchVals []float64
+
+	// fstore is the lazily-initialized fallible view of store, built on the
+	// first *Ctx call so the infallible path pays nothing (fallible.go).
+	fstore storage.FallibleStore
+	// skipped holds the schedule positions of entries whose retrieval failed
+	// permanently (ascending, since the cursor only moves forward); the run
+	// advanced past them in degraded mode. skippedSet indexes the same
+	// entries by master-list entry for entryRetrieved. Both are nil until
+	// the first skip, so fault-free runs carry no overhead.
+	skipped    []int
+	skippedSet map[int32]struct{}
 }
 
 // NewRun prepares a progressive run: it looks up (or builds once) the
@@ -255,9 +266,20 @@ func NewRun(plan *Plan, pen penalty.Penalty, store storage.Store) *Run {
 }
 
 // entryRetrieved reports whether master-list entry i has been retrieved:
-// its schedule position lies before the cursor. This replaces the per-run
-// popped bitmap — the schedule's inverse permutation is shared by every run.
-func (r *Run) entryRetrieved(i int32) bool { return int(r.sched.pos[i]) < r.cursor }
+// its schedule position lies before the cursor and it was not skipped by a
+// failed retrieval. This replaces the per-run popped bitmap — the schedule's
+// inverse permutation is shared by every run.
+func (r *Run) entryRetrieved(i int32) bool {
+	if int(r.sched.pos[i]) >= r.cursor {
+		return false
+	}
+	if r.skippedSet != nil {
+		if _, skip := r.skippedSet[i]; skip {
+			return false
+		}
+	}
+	return true
+}
 
 // Step retrieves the most important unretrieved entry — the next one in
 // schedule order — and advances every query that needs it (step 5). It
@@ -294,10 +316,13 @@ func (r *Run) RunToCompletion() {
 	}
 }
 
-// Done reports whether every entry has been retrieved.
+// Done reports whether the cursor has drained the schedule. A done run's
+// estimates are exact only when it is not Degraded — a degraded run skipped
+// entries whose residual error WorstCaseBound still bounds.
 func (r *Run) Done() bool { return r.cursor >= len(r.sched.order) }
 
-// Retrieved returns the number of coefficients fetched so far.
+// Retrieved returns the number of schedule steps taken so far: retrievals
+// attempted, including the SkippedCount that failed.
 func (r *Run) Retrieved() int { return r.cursor }
 
 // Estimates returns the current progressive estimates. The slice is owned
@@ -312,8 +337,13 @@ func (r *Run) Snapshot() []float64 {
 }
 
 // NextImportance returns ι_p of the most important unretrieved entry, or 0
-// when the run is complete.
+// when the run is complete. Skipped entries are unretrieved: they sit before
+// the cursor in the importance-descending schedule, so the first of them
+// dominates everything at or after the cursor.
 func (r *Run) NextImportance() float64 {
+	if len(r.skipped) > 0 {
+		return r.sched.importances[r.sched.order[r.skipped[0]]]
+	}
 	if r.cursor >= len(r.sched.order) {
 		return 0
 	}
@@ -341,10 +371,16 @@ func (r *Run) WorstCaseBound(coefficientMass float64) float64 {
 // subtraction the heap loop performed, so mid-run values are bit-identical
 // to the retired heap implementation.
 func (r *Run) RemainingImportance() float64 {
-	if r.cursor >= len(r.sched.order) {
-		return 0
+	var rem float64
+	if r.cursor < len(r.sched.order) {
+		rem = r.sched.remaining[r.cursor]
 	}
-	return r.sched.remaining[r.cursor]
+	// Skipped entries are behind the cursor but unretrieved; add them back.
+	// Fault-free runs take neither branch and stay bit-identical.
+	for _, sp := range r.skipped {
+		rem += r.sched.importances[r.sched.order[sp]]
+	}
+	return rem
 }
 
 // ExpectedPenalty returns the Theorem 2 estimate of the penalty of the

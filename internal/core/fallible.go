@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"context"
+
+	"repro/internal/storage"
+)
+
+// This file is the fallible evaluation engine: the context-aware
+// counterparts of Exact/ExactParallel/Step/StepBatch/RunToCompletion built
+// on storage.FallibleStore. Two rules govern every path here:
+//
+//  1. Fault-free equivalence: with a store that never fails, each *Ctx
+//     method performs the same floating-point operations in the same order
+//     as its infallible counterpart, so results are bit-identical.
+//  2. Graceful degradation (progressive paths only): a retrieval that fails
+//     for any reason other than context cancellation marks its entry
+//     skipped and the run keeps advancing. A skipped coefficient is just an
+//     unretrieved term, so Theorem 1's worst-case bound — computed from
+//     NextImportance, which accounts for skips — still holds for the
+//     degraded estimates. Exact evaluation has no bound to fall back on, so
+//     it treats any failure as fatal.
+//
+// Cancellation is never degradation: when ctx ends, the methods stop where
+// they are and return ctx.Err(), leaving the run resumable.
+
+// fallible returns the run's store lifted to the fallible interface,
+// building the adapter on first use so NewRun and the infallible path stay
+// allocation-free.
+func (r *Run) fallible() storage.FallibleStore {
+	if r.fstore == nil {
+		r.fstore = storage.AsFallible(r.store)
+	}
+	return r.fstore
+}
+
+// markSkipped records that the entry at schedule position sp could not be
+// retrieved. Positions arrive in cursor order, so skipped stays ascending —
+// and therefore importance-descending, which SkippedImportance relies on.
+func (r *Run) markSkipped(sp int) {
+	r.skipped = append(r.skipped, sp)
+	if r.skippedSet == nil {
+		r.skippedSet = make(map[int32]struct{})
+	}
+	r.skippedSet[r.sched.order[sp]] = struct{}{}
+}
+
+// Degraded reports whether any entry was skipped by a failed retrieval: the
+// estimates are missing those coefficients' contributions, and
+// WorstCaseBound/QueryErrorBound bound the resulting error.
+func (r *Run) Degraded() bool { return len(r.skipped) > 0 }
+
+// SkippedCount returns the number of entries skipped by failed retrievals.
+func (r *Run) SkippedCount() int { return len(r.skipped) }
+
+// SkippedKeys returns the storage keys of the skipped entries in the order
+// they were skipped (descending importance).
+func (r *Run) SkippedKeys() []int {
+	if len(r.skipped) == 0 {
+		return nil
+	}
+	out := make([]int, len(r.skipped))
+	for j, sp := range r.skipped {
+		out[j] = r.sched.keys[sp]
+	}
+	return out
+}
+
+// SkippedImportance returns ι_p of the most important skipped entry — the
+// exact worst-case-bound cost of the missing coefficients: for a run whose
+// cursor has drained the schedule, WorstCaseBound(K) equals
+// K^α·SkippedImportance(). Zero when nothing was skipped. The first skip is
+// the most important because the schedule is importance-descending.
+func (r *Run) SkippedImportance() float64 {
+	if len(r.skipped) == 0 {
+		return 0
+	}
+	return r.sched.importances[r.sched.order[r.skipped[0]]]
+}
+
+// StepCtx is the fallible Step: it retrieves the most important unretrieved
+// entry through the store's fallible path and advances every query that
+// needs it. It returns false when the cursor has drained the schedule. A
+// failed retrieval marks the entry skipped (see Degraded) and still counts
+// as an advance; cancellation returns ctx.Err() without advancing, leaving
+// the entry retrievable on resume.
+func (r *Run) StepCtx(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if r.cursor >= len(r.sched.order) {
+		return false, nil
+	}
+	i := r.sched.order[r.cursor]
+	v, err := r.fallible().GetCtx(ctx, r.plan.keys[i])
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, cerr
+		}
+		r.markSkipped(r.cursor)
+		r.cursor++
+		return true, nil
+	}
+	r.cursor++
+	if v != 0 {
+		idxs, cs := r.plan.entryRefs(int(i))
+		for k, qi := range idxs {
+			r.estimates[qi] += cs[k] * v
+		}
+	}
+	return true, nil
+}
+
+// StepBatchCtx is the fallible StepBatch: up to b schedule entries are
+// prefetched in one BatchGetCtx and applied in schedule order. Positions a
+// partial failure reports are skipped individually; a whole-batch failure
+// (other than cancellation) skips all b entries — the run advances either
+// way. It returns the number of entries advanced, 0 when the run is
+// complete or the context has ended.
+func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if remaining := len(r.sched.order) - r.cursor; b > remaining {
+		b = remaining
+	}
+	if b <= 0 {
+		return 0, nil
+	}
+	if cap(r.batchVals) < b {
+		r.batchVals = make([]float64, b)
+	}
+	vals := r.batchVals[:b]
+	err := r.fallible().BatchGetCtx(ctx, r.sched.keys[r.cursor:r.cursor+b], vals)
+	var failed map[int]bool
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, cerr
+		}
+		var be *storage.BatchError
+		if errors.As(err, &be) {
+			failed = make(map[int]bool, len(be.Failed))
+			for _, ke := range be.Failed {
+				failed[ke.Index] = true
+			}
+		} else {
+			// Total failure: no position of vals can be trusted.
+			for j := 0; j < b; j++ {
+				r.markSkipped(r.cursor + j)
+			}
+			r.cursor += b
+			return b, nil
+		}
+	}
+	for j := 0; j < b; j++ {
+		if failed[j] {
+			r.markSkipped(r.cursor + j)
+			continue
+		}
+		v := vals[j]
+		if v == 0 {
+			continue
+		}
+		i := r.sched.order[r.cursor+j]
+		idxs, cs := r.plan.entryRefs(int(i))
+		for k, qi := range idxs {
+			r.estimates[qi] += cs[k] * v
+		}
+	}
+	r.cursor += b
+	return b, nil
+}
+
+// RunToCompletionCtx drains the schedule through the fallible path;
+// afterwards the estimates are exact unless the run is Degraded.
+// Cancellation stops mid-schedule and returns ctx.Err(); the run can resume.
+func (r *Run) RunToCompletionCtx(ctx context.Context) error {
+	for {
+		ok, err := r.StepCtx(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// RetrySkipped re-attempts every skipped entry in one batch — the recovery
+// path after a transient outage. Entries that now succeed are applied to the
+// estimates and cease to be skipped; entries that fail again stay skipped.
+// It returns the number of entries recovered. A whole-batch failure
+// (including cancellation) recovers nothing and returns its error.
+func (r *Run) RetrySkipped(ctx context.Context) (int, error) {
+	if len(r.skipped) == 0 {
+		return 0, nil
+	}
+	keys := make([]int, len(r.skipped))
+	for j, sp := range r.skipped {
+		keys[j] = r.sched.keys[sp]
+	}
+	vals := make([]float64, len(keys))
+	err := r.fallible().BatchGetCtx(ctx, keys, vals)
+	var failed map[int]bool
+	if err != nil {
+		var be *storage.BatchError
+		if !errors.As(err, &be) {
+			return 0, err
+		}
+		failed = make(map[int]bool, len(be.Failed))
+		for _, ke := range be.Failed {
+			failed[ke.Index] = true
+		}
+	}
+	keep := r.skipped[:0]
+	recovered := 0
+	for j, sp := range r.skipped {
+		if failed[j] {
+			keep = append(keep, sp)
+			continue
+		}
+		recovered++
+		i := r.sched.order[sp]
+		delete(r.skippedSet, i)
+		if v := vals[j]; v != 0 {
+			idxs, cs := r.plan.entryRefs(int(i))
+			for k, qi := range idxs {
+				r.estimates[qi] += cs[k] * v
+			}
+		}
+	}
+	r.skipped = keep
+	if len(r.skipped) == 0 {
+		r.skipped = nil
+		r.skippedSet = nil
+	}
+	return recovered, nil
+}
+
+// ExactCtx is the fallible Exact: one linear pass over the master list
+// through the store's fallible path. Exact evaluation has no error bound to
+// degrade to, so the first failed retrieval aborts with its error; with a
+// fault-free store the result is bit-identical to Exact.
+func (p *Plan) ExactCtx(ctx context.Context, store storage.Store) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	fs := storage.AsFallible(store)
+	est := make([]float64, p.NumQueries())
+	for i, key := range p.keys {
+		v, err := fs.GetCtx(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		if v == 0 {
+			continue
+		}
+		idxs, cs := p.entryRefs(i)
+		for k, qi := range idxs {
+			est[qi] += cs[k] * v
+		}
+	}
+	return est, nil
+}
+
+// ExactParallelCtx is the fallible ExactParallel: the fetch phase issues
+// chunked BatchGetCtx calls (concurrently on a storage.Concurrent store) and
+// the apply phase is the shared bit-identical per-query accumulation. Like
+// ExactCtx it treats any retrieval failure as fatal, reporting the failure
+// of the lowest chunk.
+func (p *Plan) ExactParallelCtx(ctx context.Context, store storage.Store, workers int) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	est := make([]float64, p.NumQueries())
+	n := len(p.keys)
+	if n == 0 {
+		return est, nil
+	}
+	workers = clampWorkers(workers, n)
+	p.buildEvalIndex()
+	vals := make([]float64, n)
+	fs := storage.AsFallible(store)
+
+	if _, ok := store.(storage.Concurrent); ok && workers > 1 {
+		chunk := (n + workers - 1) / workers
+		nchunks := (n + chunk - 1) / chunk
+		errs := make([]error, nchunks)
+		var wg sync.WaitGroup
+		for c := 0; c < nchunks; c++ {
+			lo := c * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(c, lo, hi int) {
+				defer wg.Done()
+				errs[c] = fs.BatchGetCtx(ctx, p.keys[lo:hi], vals[lo:hi])
+			}(c, lo, hi)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if err := fs.BatchGetCtx(ctx, p.keys, vals); err != nil {
+		return nil, err
+	}
+
+	p.applyEvalIndex(vals, est, workers)
+	return est, nil
+}

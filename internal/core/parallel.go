@@ -284,6 +284,16 @@ func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
 		storage.BatchGet(store, p.keys, vals)
 	}
 
+	p.applyEvalIndex(vals, est, workers)
+	return est
+}
+
+// applyEvalIndex is the apply phase shared by ExactParallel and
+// ExactParallelCtx: queries are partitioned across workers, so each query's
+// estimate is accumulated by exactly one worker in ascending master-list
+// order — the sequential pass's exact floating-point operation sequence.
+// buildEvalIndex must have run.
+func (p *Plan) applyEvalIndex(vals, est []float64, workers int) {
 	apply := func(qlo, qhi int) {
 		for qi := qlo; qi < qhi; qi++ {
 			var sum float64
@@ -301,7 +311,7 @@ func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
 	aw := clampWorkers(workers, nq)
 	if aw == 1 {
 		apply(0, nq)
-		return est
+		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < aw; w++ {
@@ -313,7 +323,6 @@ func (p *Plan) ExactParallel(store storage.Store, workers int) []float64 {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return est
 }
 
 // StepBatch advances up to b entries in one batched retrieval and returns

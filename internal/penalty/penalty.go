@@ -419,6 +419,10 @@ func NewLpNorm(p float64) (*LpNorm, error) {
 	return &LpNorm{p: p}, nil
 }
 
+// Linf returns the max-norm penalty ‖e‖_∞ — the p = ∞ case of NewLpNorm,
+// which cannot fail and so needs no error path.
+func Linf() *LpNorm { return &LpNorm{p: math.Inf(1)} }
+
 // Name implements Penalty.
 func (n *LpNorm) Name() string {
 	if math.IsInf(n.p, 1) {

@@ -132,14 +132,25 @@ type Job struct {
 // Progress is a snapshot of a run after a slice: usable estimates plus the
 // paper's per-query worst-case bounds (nil once the run is exact).
 type Progress struct {
-	// Retrieved is the run's logical retrieval count so far.
+	// Retrieved is the run's logical retrieval count so far (attempted
+	// steps, including any skipped by failed retrievals).
 	Retrieved int
-	// Done reports whether the estimates are exact (master list drained).
+	// Done reports whether the schedule is drained. The estimates are exact
+	// only when Done && !Degraded.
 	Done bool
+	// Degraded reports that some retrievals failed permanently and their
+	// entries were skipped: the estimates are partial results whose residual
+	// error Bounds still covers.
+	Degraded bool
+	// Skipped is the number of entries skipped by failed retrievals.
+	Skipped int
+	// SkippedImportance is ι_p of the most important skipped entry — the
+	// worst-case-bound cost of the missing coefficients (0 when none).
+	SkippedImportance float64
 	// Estimates holds one progressive estimate per query.
 	Estimates []float64
 	// Bounds holds the per-query worst-case error bounds (Hölder / Theorem 1
-	// with mass K); nil when Done.
+	// with mass K); nil once the run is exact (Done && !Degraded).
 	Bounds []float64
 }
 
@@ -210,8 +221,15 @@ func (t *task) publish(p Progress) {
 // owns the task's current slice.
 func (t *task) snapshot() Progress {
 	run := t.job.Run
-	p := Progress{Retrieved: run.Retrieved(), Done: run.Done(), Estimates: run.Snapshot()}
-	if !p.Done && t.job.Mass > 0 {
+	p := Progress{
+		Retrieved:         run.Retrieved(),
+		Done:              run.Done(),
+		Degraded:          run.Degraded(),
+		Skipped:           run.SkippedCount(),
+		SkippedImportance: run.SkippedImportance(),
+		Estimates:         run.Snapshot(),
+	}
+	if (!p.Done || p.Degraded) && t.job.Mass > 0 {
 		p.Bounds = run.QueryErrorBounds(t.job.Mass)
 	}
 	return p
@@ -363,7 +381,7 @@ func (s *Scheduler) Stats() Stats {
 // RetryAfter returns the configured backoff hint for overload rejections.
 func (s *Scheduler) RetryAfter() time.Duration { return s.cfg.RetryAfter }
 
-/// Closed reports whether Close has begun: admission is rejected and every
+// / Closed reports whether Close has begun: admission is rejected and every
 // pending run has been cancelled.
 func (s *Scheduler) Closed() bool {
 	s.mu.Lock()
@@ -401,11 +419,11 @@ func (s *Scheduler) worker() {
 		if t == nil {
 			return
 		}
-		var stepped int
-		err := t.ctx.Err()
-		if err == nil {
-			stepped = t.job.Run.StepBatch(n)
-		}
+		// StepBatchCtx runs the slice on the store's fallible path: failed
+		// retrievals degrade the run (entries skipped, bounds widened)
+		// instead of panicking a worker, and a non-nil err here is always
+		// the task context ending.
+		stepped, err := t.job.Run.StepBatchCtx(t.ctx, n)
 		// The run is owned by this worker until busy clears: snapshot and
 		// the finish decision need no lock.
 		p := t.snapshot()

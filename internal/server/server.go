@@ -55,7 +55,13 @@ func NewWithConfig(db *repro.Database, cfg sched.Config) *Handler {
 		// Unreachable after EnsureConcurrent; fail loudly if it ever isn't.
 		panic(err)
 	}
-	return &Handler{db: db, sched: sched.New(cfg), mass: db.CoefficientMass()}
+	// A store that cannot enumerate has no coefficient mass; serve without
+	// error bounds rather than refuse to start.
+	mass, err := db.CoefficientMass()
+	if err != nil {
+		mass = 0
+	}
+	return &Handler{db: db, sched: sched.New(cfg), mass: mass}
 }
 
 // Close drains the scheduler: pending runs are cancelled and workers
@@ -87,13 +93,20 @@ type QueryResult struct {
 
 // QueryResponse is the POST /query reply (and the SSE "done" event).
 type QueryResponse struct {
-	Exact     bool          `json:"exact"`
-	Retrieved int           `json:"retrieved"`
-	Distinct  int           `json:"distinct"`
+	Exact     bool `json:"exact"`
+	Retrieved int  `json:"retrieved"`
+	Distinct  int  `json:"distinct"`
 	// TimedOut marks a response cut short by timeout_ms: the results are
 	// the progressive state reached within the deadline.
-	TimedOut bool          `json:"timed_out,omitempty"`
-	Results  []QueryResult `json:"results"`
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Degraded marks a partial result: some coefficient retrievals failed
+	// permanently (Skipped of them), the estimates exclude those
+	// contributions, and each result's bound covers the residual error.
+	// Served with HTTP 206 on /query.
+	Degraded bool `json:"degraded,omitempty"`
+	// Skipped counts the coefficients that could not be retrieved.
+	Skipped int           `json:"skipped,omitempty"`
+	Results []QueryResult `json:"results"`
 }
 
 // StatsResponse is the GET /stats reply.
@@ -243,15 +256,17 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 // response renders a progress snapshot in the /query wire shape.
 func (sub *submission) response(p sched.Progress, timedOut bool) QueryResponse {
 	resp := QueryResponse{
-		Exact:     p.Done,
+		Exact:     p.Done && !p.Degraded,
 		Retrieved: p.Retrieved,
 		Distinct:  sub.plan.DistinctCoefficients(),
 		TimedOut:  timedOut,
+		Degraded:  p.Degraded,
+		Skipped:   p.Skipped,
 		Results:   make([]QueryResult, len(sub.batch)),
 	}
 	for i, q := range sub.batch {
 		res := QueryResult{Query: q.Label, Estimate: p.Estimates[i]}
-		if !p.Done && p.Bounds != nil {
+		if !resp.Exact && p.Bounds != nil {
 			b := p.Bounds[i]
 			res.Bound = &b
 		}
@@ -267,13 +282,18 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.cancel()
 	final, err := sub.ticket.Final()
+	// A degraded result is a partial answer with bounds: 206, not 200.
+	status := http.StatusOK
+	if final.Degraded {
+		status = http.StatusPartialContent
+	}
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, sub.response(final, false))
+		writeJSON(w, status, sub.response(final, false))
 	case errors.Is(err, context.DeadlineExceeded) && final.Retrieved > 0:
 		// The latency budget expired: the progressive state reached is still
 		// a valid answer with bounds — exactly what progressiveness buys.
-		writeJSON(w, http.StatusOK, sub.response(final, true))
+		writeJSON(w, status, sub.response(final, true))
 	default:
 		http.Error(w, "query cancelled: "+err.Error(), http.StatusServiceUnavailable)
 	}

@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -108,6 +110,78 @@ func (s *CachedStore) GetBatch(keys []int, dst []float64) {
 	}
 }
 
+// BatchGetCtx implements FallibleStore. Hit/miss classification is identical
+// to GetBatch; the deduplicated misses go to the wrapped store's fallible
+// batch path. Failed misses are not cached and are reported as a
+// *BatchError whose indices refer to the caller's batch (every position
+// requesting a failed key fails); a non-batch error from the wrapped store
+// (cancellation, total outage) is returned as-is.
+func (s *CachedStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	if len(keys) != len(dst) {
+		panic("storage: BatchGetCtx keys/dst length mismatch")
+	}
+	if s.capacity == 0 {
+		// Caching disabled: forward the whole batch.
+		return s.finner.BatchGetCtx(ctx, keys, dst)
+	}
+	var missKeys []int
+	missAt := make(map[int]int) // key → index into missKeys
+	for i, k := range keys {
+		if el, ok := s.index[k]; ok {
+			s.hits++
+			s.lru.MoveToFront(el)
+			dst[i] = el.Value.(cachedCell).val
+			continue
+		}
+		if _, ok := missAt[k]; ok {
+			// Duplicate miss within the batch: fetched once, the repeat is a
+			// hit (see GetBatch) — unless the shared fetch fails, in which
+			// case every position of the key fails below.
+			s.hits++
+			continue
+		}
+		missAt[k] = len(missKeys)
+		missKeys = append(missKeys, k)
+	}
+	if len(missKeys) == 0 {
+		return nil
+	}
+	missVals := make([]float64, len(missKeys))
+	err := s.finner.BatchGetCtx(ctx, missKeys, missVals)
+	var failed map[int]error // missKeys index → cause
+	if err != nil {
+		var be *BatchError
+		if !errors.As(err, &be) {
+			return err
+		}
+		failed = make(map[int]error, len(be.Failed))
+		for _, ke := range be.Failed {
+			failed[ke.Index] = ke.Err
+		}
+	}
+	for j, k := range missKeys {
+		if _, bad := failed[j]; !bad {
+			s.insert(k, missVals[j])
+		}
+	}
+	var out []KeyError
+	for i, k := range keys {
+		j, ok := missAt[k]
+		if !ok {
+			continue
+		}
+		if cause, bad := failed[j]; bad {
+			out = append(out, KeyError{Index: i, Key: k, Err: cause})
+			continue
+		}
+		dst[i] = missVals[j]
+	}
+	if len(out) > 0 {
+		return &BatchError{Failed: out}
+	}
+	return nil
+}
+
 // fileStoreMaxGap is the largest key gap (in cells) GetBatch will read
 // through to keep one coalesced positioned read going: reading 8·gap wasted
 // bytes is cheaper than a second syscall.
@@ -146,6 +220,63 @@ func (s *FileStore) GetBatch(keys []int, dst []float64) {
 		}
 		lo = hi
 	}
+}
+
+// BatchGetCtx implements FallibleStore with the same run-coalescing as
+// GetBatch. An out-of-range key or a failed positioned read fails only the
+// positions it covers, reported via *BatchError, while the remaining runs
+// are still read; cancellation is observed between runs and returned whole.
+func (s *FileStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	if len(keys) != len(dst) {
+		panic("storage: BatchGetCtx keys/dst length mismatch")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.retrievals += int64(len(keys))
+	var failed []KeyError
+	order := make([]int, 0, len(keys))
+	for i, k := range keys {
+		if k < 0 || k >= s.n {
+			failed = append(failed, KeyError{Index: i, Key: k,
+				Err: fmt.Errorf("key out of range [0,%d)", s.n)})
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	var buf []byte
+	for lo := 0; lo < len(order); {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + 1
+		for hi < len(order) && keys[order[hi]]-keys[order[hi-1]] <= fileStoreMaxGap {
+			hi++
+		}
+		first, last := keys[order[lo]], keys[order[hi-1]]
+		span := last - first + 1
+		if cap(buf) < span*8 {
+			buf = make([]byte, span*8)
+		}
+		b := buf[:span*8]
+		if _, err := s.f.ReadAt(b, s.offset(first)); err != nil {
+			for _, i := range order[lo:hi] {
+				failed = append(failed, KeyError{Index: i, Key: keys[i], Err: err})
+			}
+			lo = hi
+			continue
+		}
+		for _, i := range order[lo:hi] {
+			dst[i] = cellAt(b, keys[i]-first)
+		}
+		lo = hi
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+		return &BatchError{Failed: failed}
+	}
+	return nil
 }
 
 // GetBatch implements BatchGetter: the wrapped store is consulted under a

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 )
@@ -16,6 +17,7 @@ import (
 // A capacity of 0 disables caching; Unbounded keeps everything.
 type CachedStore struct {
 	inner    Store
+	finner   FallibleStore
 	capacity int
 	lru      *list.List // front = most recently used
 	index    map[int]*list.Element
@@ -38,6 +40,7 @@ func NewCachedStore(inner Store, capacity int) (*CachedStore, error) {
 	}
 	return &CachedStore{
 		inner:    inner,
+		finner:   AsFallible(inner),
 		capacity: capacity,
 		lru:      list.New(),
 		index:    make(map[int]*list.Element),
@@ -53,8 +56,32 @@ func (s *CachedStore) Get(key int) float64 {
 		return el.Value.(cachedCell).val
 	}
 	v := s.inner.Get(key)
+	s.insert(key, v)
+	return v
+}
+
+// GetCtx implements FallibleStore: hits never touch the wrapped store (and
+// so can never fail); misses take the wrapped store's fallible path, and
+// only successful fetches enter the cache — a failed retrieval is retried
+// against the store next time, never served stale or zero.
+func (s *CachedStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	if el, ok := s.index[key]; ok {
+		s.hits++
+		s.lru.MoveToFront(el)
+		return el.Value.(cachedCell).val, nil
+	}
+	v, err := s.finner.GetCtx(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	s.insert(key, v)
+	return v, nil
+}
+
+// insert caches a fetched coefficient, evicting the LRU entry at capacity.
+func (s *CachedStore) insert(key int, v float64) {
 	if s.capacity == 0 {
-		return v
+		return
 	}
 	if s.lru.Len() >= s.capacity {
 		oldest := s.lru.Back()
@@ -62,7 +89,6 @@ func (s *CachedStore) Get(key int) float64 {
 		s.lru.Remove(oldest)
 	}
 	s.index[key] = s.lru.PushFront(cachedCell{key: key, val: v})
-	return v
 }
 
 // Retrievals implements Store: only misses reach the wrapped store, so this
@@ -105,6 +131,7 @@ func (s *CachedStore) ForEachNonzero(fn func(key int, value float64) bool) {
 }
 
 var (
-	_ Store      = (*CachedStore)(nil)
-	_ Enumerable = (*CachedStore)(nil)
+	_ Store         = (*CachedStore)(nil)
+	_ Enumerable    = (*CachedStore)(nil)
+	_ FallibleStore = (*CachedStore)(nil)
 )

@@ -1,7 +1,10 @@
 package storage
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -25,7 +28,8 @@ import (
 // serves stale values once an Add lands (an Add racing an in-flight fetch of
 // the same key has plain Get/Add race semantics, as on the wrapped store).
 type CoalescingStore struct {
-	inner Concurrent
+	inner  Concurrent
+	finner FallibleStore
 
 	mu       sync.Mutex
 	inflight map[int]*flight
@@ -35,10 +39,14 @@ type CoalescingStore struct {
 	coalesced atomic.Int64 // coefficients served by joining another fetch
 }
 
-// flight is one in-progress fetch; joiners block on done and read val after.
+// flight is one in-progress fetch; joiners block on done and read val/err
+// after. A leader's failure is shared with its joiners exactly like a value:
+// the coefficient was fetched once on everyone's behalf, so its error is
+// everyone's error.
 type flight struct {
 	done chan struct{}
 	val  float64
+	err  error
 }
 
 // CoalesceStats is a snapshot of the layer's counters. Requests = Fetched +
@@ -52,7 +60,7 @@ type CoalesceStats struct {
 // NewCoalescingStore wraps inner. The wrapped store must be concurrent-safe
 // (the layer's whole point is overlapping callers).
 func NewCoalescingStore(inner Concurrent) *CoalescingStore {
-	return &CoalescingStore{inner: inner, inflight: make(map[int]*flight)}
+	return &CoalescingStore{inner: inner, finner: AsFallible(inner), inflight: make(map[int]*flight)}
 }
 
 // Get implements Store: lead a fetch, or join one already in flight.
@@ -77,6 +85,37 @@ func (s *CoalescingStore) Get(key int) float64 {
 	s.mu.Unlock()
 	close(f.done)
 	return f.val
+}
+
+// GetCtx implements FallibleStore: lead a fetch, or join one already in
+// flight. A leader's error is shared with every joiner of the same flight; a
+// joiner whose own context ends while waiting returns ctx.Err() without
+// disturbing the flight (the leader and other joiners are unaffected).
+func (s *CoalescingStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	s.requests.Add(1)
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+			s.coalesced.Add(1)
+			return f.val, f.err
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = s.finner.GetCtx(ctx, key)
+	s.fetched.Add(1)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
 }
 
 // GetBatch implements BatchGetter. Keys already in flight elsewhere are
@@ -145,6 +184,109 @@ func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
 	}
 }
 
+// BatchGetCtx implements FallibleStore with GetBatch's sharing: keys in
+// flight elsewhere are joined, the rest are fetched from the wrapped store
+// in one fallible batch. Per-key failures — from our own lead fetch or from
+// a joined leader — are collected into a *BatchError; a non-batch failure of
+// the lead fetch (cancellation, total outage) is propagated to every flight
+// we lead, so joiners fail too, and returned whole.
+func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	if len(keys) != len(dst) {
+		panic("storage: BatchGetCtx keys/dst length mismatch")
+	}
+	s.requests.Add(int64(len(keys)))
+
+	type join struct {
+		pos int
+		f   *flight
+	}
+	var (
+		joins    []join
+		leadKeys []int
+		leadAt   = make(map[int]int) // key → index into leadKeys
+		flights  []*flight
+	)
+	s.mu.Lock()
+	for i, k := range keys {
+		if j, ok := leadAt[k]; ok {
+			// Duplicate within this batch: shares our own fetch.
+			joins = append(joins, join{pos: i, f: flights[j]})
+			continue
+		}
+		if f, ok := s.inflight[k]; ok {
+			joins = append(joins, join{pos: i, f: f})
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[k] = f
+		leadAt[k] = len(leadKeys)
+		leadKeys = append(leadKeys, k)
+		flights = append(flights, f)
+	}
+	s.mu.Unlock()
+
+	var whole error // non-batch failure of the lead fetch
+	if len(leadKeys) > 0 {
+		vals := make([]float64, len(leadKeys))
+		err := s.finner.BatchGetCtx(ctx, leadKeys, vals)
+		s.fetched.Add(int64(len(leadKeys)))
+		var be *BatchError
+		switch {
+		case err == nil:
+		case errors.As(err, &be):
+			for _, ke := range be.Failed {
+				flights[ke.Index].err = ke.Err
+			}
+		default:
+			whole = err
+			for _, f := range flights {
+				f.err = err
+			}
+		}
+		s.mu.Lock()
+		for _, k := range leadKeys {
+			delete(s.inflight, k)
+		}
+		s.mu.Unlock()
+		for j, f := range flights {
+			f.val = vals[j]
+			close(f.done)
+		}
+		if whole != nil {
+			return whole
+		}
+	}
+
+	var failed []KeyError
+	for i, k := range keys {
+		if j, ok := leadAt[k]; ok {
+			if f := flights[j]; f.err != nil {
+				failed = append(failed, KeyError{Index: i, Key: k, Err: f.err})
+			} else {
+				dst[i] = f.val
+			}
+		}
+	}
+	for _, jn := range joins {
+		select {
+		case <-jn.f.done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		s.coalesced.Add(1)
+		if jn.f.err != nil {
+			failed = append(failed, KeyError{Index: jn.pos, Key: keys[jn.pos], Err: jn.f.err})
+			continue
+		}
+		dst[jn.pos] = jn.f.val
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(a, b int) bool { return failed[a].Index < failed[b].Index })
+		return &BatchError{Failed: failed}
+	}
+	return nil
+}
+
 // Stats returns the coalescing counters.
 func (s *CoalescingStore) Stats() CoalesceStats {
 	return CoalesceStats{
@@ -197,9 +339,10 @@ func (s *CoalescingStore) ForEachNonzero(fn func(key int, value float64) bool) {
 func (s *CoalescingStore) ConcurrentSafe() {}
 
 var (
-	_ Store       = (*CoalescingStore)(nil)
-	_ Updatable   = (*CoalescingStore)(nil)
-	_ BatchGetter = (*CoalescingStore)(nil)
-	_ Concurrent  = (*CoalescingStore)(nil)
-	_ Enumerable  = (*CoalescingStore)(nil)
+	_ Store         = (*CoalescingStore)(nil)
+	_ Updatable     = (*CoalescingStore)(nil)
+	_ BatchGetter   = (*CoalescingStore)(nil)
+	_ Concurrent    = (*CoalescingStore)(nil)
+	_ Enumerable    = (*CoalescingStore)(nil)
+	_ FallibleStore = (*CoalescingStore)(nil)
 )

@@ -56,7 +56,7 @@ func TestCoalescingGetJoinsInflightFetch(t *testing.T) {
 
 		results := make(chan float64, 2)
 		go func() { results <- cs.Get(7) }() // leader: blocks on the gate
-		for { // leader's flight registered (gate shut: it cannot deregister)
+		for {                                // leader's flight registered (gate shut: it cannot deregister)
 			cs.mu.Lock()
 			_, inflight := cs.inflight[7]
 			cs.mu.Unlock()

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -11,13 +12,14 @@ import (
 // individual Get calls while letting runs interleave, which is the natural
 // deployment shape for a read-mostly query service.
 type ConcurrentStore struct {
-	mu    sync.Mutex
-	inner Store
+	mu     sync.Mutex
+	inner  Store
+	finner FallibleStore
 }
 
 // NewConcurrentStore wraps inner.
 func NewConcurrentStore(inner Store) *ConcurrentStore {
-	return &ConcurrentStore{inner: inner}
+	return &ConcurrentStore{inner: inner, finner: AsFallible(inner)}
 }
 
 // Get implements Store.
@@ -25,6 +27,22 @@ func (s *ConcurrentStore) Get(key int) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.inner.Get(key)
+}
+
+// GetCtx implements FallibleStore: the wrapped store's fallible path under
+// the lock. The lock is not interruptible; cancellation is observed by the
+// wrapped store (or by the engine at the next batch boundary).
+func (s *ConcurrentStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finner.GetCtx(ctx, key)
+}
+
+// BatchGetCtx implements FallibleStore with one lock round-trip per batch.
+func (s *ConcurrentStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finner.BatchGetCtx(ctx, keys, dst)
 }
 
 // Retrievals implements Store.
@@ -82,8 +100,9 @@ func (s *ConcurrentStore) Enumerable() bool { return IsEnumerable(s.inner) }
 func (s *ConcurrentStore) ConcurrentSafe() {}
 
 var (
-	_ Store      = (*ConcurrentStore)(nil)
-	_ Updatable  = (*ConcurrentStore)(nil)
-	_ Concurrent = (*ConcurrentStore)(nil)
-	_ Enumerable = (*ConcurrentStore)(nil)
+	_ Store         = (*ConcurrentStore)(nil)
+	_ Updatable     = (*ConcurrentStore)(nil)
+	_ Concurrent    = (*ConcurrentStore)(nil)
+	_ Enumerable    = (*ConcurrentStore)(nil)
+	_ FallibleStore = (*ConcurrentStore)(nil)
 )

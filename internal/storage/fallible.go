@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+)
+
+// FallibleStore is the context-aware, error-returning retrieval surface the
+// evaluation engine runs on. The paper's cost model treats every coefficient
+// retrieval as one unit of I/O and assumes it always succeeds; once
+// coefficients live behind anything slower than RAM (a file, a remote block
+// service, a cache tier) a retrieval can fail, time out, or be cancelled.
+// FallibleStore makes those outcomes part of the contract instead of a
+// panic: GetCtx/BatchGetCtx observe ctx for cancellation and report
+// failures as errors the engine can turn into principled partial answers
+// (a coefficient we could not fetch is just an unretrieved term whose
+// contribution Theorem 1 already bounds — see core.Run's degraded mode).
+//
+// Every Store can be lifted into a FallibleStore with AsFallible; in-memory
+// stores pay nothing beyond an interface call. Wrapper stores (CachedStore,
+// CoalescingStore, ConcurrentStore) and FileStore implement the interface
+// natively so errors and cancellation propagate through every layer.
+type FallibleStore interface {
+	Store
+	// GetCtx returns the coefficient at key, counting one retrieval.
+	// It returns ctx.Err() when the context ends before the retrieval
+	// completes, and a store-specific error when the retrieval fails.
+	GetCtx(ctx context.Context, key int) (float64, error)
+	// BatchGetCtx retrieves the coefficient for keys[i] into dst[i],
+	// counting len(keys) retrievals. dst must have the same length as keys;
+	// keys may repeat and appear in any order. A partial failure is
+	// reported as a *BatchError listing the failed positions — positions it
+	// does not list hold valid values. Any other non-nil error (including
+	// ctx.Err()) means no position of dst may be trusted.
+	BatchGetCtx(ctx context.Context, keys []int, dst []float64) error
+}
+
+// KeyError records the failure of one coefficient retrieval, within a batch
+// or alone.
+type KeyError struct {
+	// Index is the position in the batch's keys/dst slices (0 for single
+	// retrievals).
+	Index int
+	// Key is the storage key whose retrieval failed.
+	Key int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *KeyError) Error() string {
+	return fmt.Sprintf("storage: retrieving key %d: %v", e.Key, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *KeyError) Unwrap() error { return e.Err }
+
+// BatchError reports the partial failure of a BatchGetCtx call: the listed
+// positions failed, every other position of dst holds a valid coefficient.
+// Callers that can degrade (core.Run) apply the successes and account for
+// the failures; callers that cannot (exact evaluation) treat it as fatal.
+type BatchError struct {
+	// Failed holds one entry per failed position, in ascending Index order.
+	Failed []KeyError
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	if len(e.Failed) == 1 {
+		return e.Failed[0].Error()
+	}
+	return fmt.Sprintf("storage: %d of batch retrievals failed (first: %v)",
+		len(e.Failed), e.Failed[0].Error())
+}
+
+// Unwrap exposes every per-key cause to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i := range e.Failed {
+		errs[i] = &e.Failed[i]
+	}
+	return errs
+}
+
+// AsFallible lifts any Store into the fallible interface. Stores that
+// already implement FallibleStore are returned unchanged; everything else
+// is wrapped in a zero-overhead adapter whose GetCtx/BatchGetCtx delegate
+// straight to Get/BatchGet, never fail, and do not inspect the context
+// (in-memory retrievals cannot block, so cancellation is checked at batch
+// boundaries by the engine instead of per key).
+func AsFallible(s Store) FallibleStore {
+	if f, ok := s.(FallibleStore); ok {
+		return f
+	}
+	return infallible{s}
+}
+
+// infallible adapts an error-free Store to FallibleStore at zero cost.
+type infallible struct{ Store }
+
+// GetCtx implements FallibleStore.
+func (a infallible) GetCtx(_ context.Context, key int) (float64, error) {
+	return a.Store.Get(key), nil
+}
+
+// BatchGetCtx implements FallibleStore, keeping the wrapped store's batched
+// fast path.
+func (a infallible) BatchGetCtx(_ context.Context, keys []int, dst []float64) error {
+	BatchGet(a.Store, keys, dst)
+	return nil
+}
+
+var _ FallibleStore = infallible{}

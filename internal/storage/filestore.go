@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -37,30 +38,30 @@ func CreateFileStore(path string, cells []float64) (*FileStore, error) {
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.WriteString(fileStoreMagic); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var hdr [10]byte
 	binary.LittleEndian.PutUint16(hdr[0:2], fileStoreVersion)
 	binary.LittleEndian.PutUint64(hdr[2:10], uint64(len(cells)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	var buf [8]byte
 	for _, v := range cells {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		if _, err := w.Write(buf[:]); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return &FileStore{f: f, n: len(cells)}, nil
@@ -74,25 +75,25 @@ func OpenFileStore(path string) (*FileStore, error) {
 	}
 	var hdr [fileStoreHeaderSize]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: reading file store header: %w", err)
 	}
 	if string(hdr[:4]) != fileStoreMagic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: %s is not a coefficient file (bad magic)", path)
 	}
 	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileStoreVersion {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: unsupported file store version %d", v)
 	}
 	n := binary.LittleEndian.Uint64(hdr[6:14])
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if want := int64(fileStoreHeaderSize) + int64(n)*8; st.Size() != want {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("storage: file size %d does not match header (want %d)", st.Size(), want)
 	}
 	return &FileStore{f: f, n: int(n)}, nil
@@ -109,6 +110,26 @@ func (s *FileStore) Get(key int) float64 {
 		panic(fmt.Sprintf("storage: reading coefficient %d: %v", key, err))
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}
+
+// GetCtx implements FallibleStore: the positioned read's failure modes — a
+// cancelled context, an out-of-range key, an I/O error — come back as errors
+// instead of Get's panics. This is the store the fallible API exists for:
+// the file can disappear, the disk can fail, and the engine degrades instead
+// of crashing.
+func (s *FileStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	s.retrievals++
+	if key < 0 || key >= s.n {
+		return 0, &KeyError{Key: key, Err: fmt.Errorf("key out of range [0,%d)", s.n)}
+	}
+	var buf [8]byte
+	if _, err := s.f.ReadAt(buf[:], s.offset(key)); err != nil {
+		return 0, &KeyError{Key: key, Err: err}
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }
 
 // Add implements Updatable with a read-modify-write. The file must have
@@ -182,6 +203,7 @@ func (r *readerAt) Read(p []byte) (int, error) {
 }
 
 var (
-	_ Updatable  = (*FileStore)(nil)
-	_ Enumerable = (*FileStore)(nil)
+	_ Updatable     = (*FileStore)(nil)
+	_ Enumerable    = (*FileStore)(nil)
+	_ FallibleStore = (*FileStore)(nil)
 )

@@ -61,7 +61,10 @@ func TestCoefficientMassAndWorstCaseBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mass := db.CoefficientMass()
+	mass, err := db.CoefficientMass()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mass <= 0 {
 		t.Fatalf("CoefficientMass = %g", mass)
 	}

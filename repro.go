@@ -233,10 +233,12 @@ func (db *Database) NonzeroCoefficients() int { return db.store.NonzeroCount() }
 
 // CoefficientMass returns K = Σ_ξ |Δ̂[ξ]|, the constant in the Theorem 1
 // worst-case bound K^α·ι_p(ξ′) reported by Run.WorstCaseBound. Enumerating
-// the store does not count as retrievals.
-func (db *Database) CoefficientMass() float64 {
+// the store does not count as retrievals. It returns an error when the
+// store cannot enumerate its coefficients — previously this case silently
+// reported a mass of 0, which turns every worst-case bound into a useless 0.
+func (db *Database) CoefficientMass() (float64, error) {
 	if !storage.IsEnumerable(db.store) {
-		return 0
+		return 0, fmt.Errorf("repro: store %T does not support enumeration; coefficient mass unknown", db.store)
 	}
 	enum := db.store.(storage.Enumerable)
 	var mass float64
@@ -248,7 +250,7 @@ func (db *Database) CoefficientMass() float64 {
 		}
 		return true
 	})
-	return mass
+	return mass, nil
 }
 
 // Plan rewrites a batch into its merged master list under the database's

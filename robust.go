@@ -1,0 +1,73 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/storage"
+)
+
+// This file is the facade of the fallible retrieval API: context-aware exact
+// evaluation, retry policies, and deterministic fault injection. The
+// progressive counterparts live on Run (StepCtx, StepBatchCtx,
+// RunToCompletionCtx, RetrySkipped, Degraded, …), re-exported via types.go.
+
+// Re-exported robustness vocabulary from internal/storage.
+type (
+	// FaultConfig is a deterministic fault schedule for InjectFaults.
+	FaultConfig = storage.FaultConfig
+	// RetryConfig is the backoff policy for EnableRetries.
+	RetryConfig = storage.RetryConfig
+	// KeyError is the failure of one coefficient retrieval.
+	KeyError = storage.KeyError
+	// BatchError is the partial failure of a batched retrieval.
+	BatchError = storage.BatchError
+)
+
+// Sentinel errors of the robustness layer, matchable with errors.Is through
+// every wrapper.
+var (
+	// ErrInjected is the default error of injected faults.
+	ErrInjected = storage.ErrInjected
+	// ErrRetriesExhausted wraps failures that survived every retry attempt.
+	ErrRetriesExhausted = storage.ErrRetriesExhausted
+)
+
+// ExactCtx is the fallible, context-aware Exact: it evaluates the plan
+// exactly through the store's fallible path, returning the first retrieval
+// failure (or ctx.Err()) instead of panicking. With a store that never
+// fails, the result is bit-identical to Exact. Exact evaluation has no
+// error bound to degrade to; for partial answers under failures use a
+// progressive Run, which skips failed entries and bounds the residual.
+func (db *Database) ExactCtx(ctx context.Context, plan *Plan) ([]float64, error) {
+	return plan.ExactCtx(ctx, db.store)
+}
+
+// ExactParallelCtx is the fallible ExactParallel: batched context-aware
+// retrieval, parallel apply, bit-identical to Exact on a fault-free store.
+func (db *Database) ExactParallelCtx(ctx context.Context, plan *Plan, workers int) ([]float64, error) {
+	return plan.ExactParallelCtx(ctx, db.store, workers)
+}
+
+// EnableRetries wraps the database's store with a retry layer: fallible
+// retrievals (ExactCtx, Run.StepCtx/StepBatchCtx, the scheduler's slices)
+// that fail transiently are re-attempted with exponential backoff and
+// jitter before the failure is surfaced. Infallible retrievals (Exact,
+// Run.Step) pass through unchanged. Layering: call EnableRetries before
+// EnableCoalescing (and before handing the database to the HTTP server) so
+// retries sit under the coalescing layer and a recovered fetch is shared.
+func (db *Database) EnableRetries(cfg RetryConfig) {
+	db.store = storage.WrapRetries(db.store, cfg).(storage.Updatable)
+}
+
+// InjectFaults wraps the database's store with a deterministic fault
+// injector for chaos testing: fallible retrievals fail or stall according
+// to cfg, while infallible retrievals pass through untouched. It returns a
+// restore function that removes the injector (and any layers added on top
+// of it since — restore rewinds the store to its pre-injection state).
+// Layering: inject faults first, then EnableRetries to test recovery, then
+// the server (whose coalescing layer goes on top).
+func (db *Database) InjectFaults(cfg FaultConfig) (restore func()) {
+	prev := db.store
+	db.store = storage.WrapFaults(db.store, cfg).(storage.Updatable)
+	return func() { db.store = prev }
+}

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/storage"
 )
@@ -49,6 +51,19 @@ func (s *Session) Exact(plan *Plan) []float64 { return plan.Exact(s.store) }
 // workers (≤0 selects GOMAXPROCS).
 func (s *Session) ExactParallel(plan *Plan, workers int) []float64 {
 	return plan.ExactParallel(s.store, workers)
+}
+
+// ExactCtx evaluates a plan exactly through the session cache on the
+// fallible path: hits are served from the cache, misses take the backing
+// store's context-aware fallible route, and only successful fetches are
+// cached. Bit-identical to Exact on a fault-free store.
+func (s *Session) ExactCtx(ctx context.Context, plan *Plan) ([]float64, error) {
+	return plan.ExactCtx(ctx, s.store)
+}
+
+// ExactParallelCtx is the fallible ExactParallel through the session cache.
+func (s *Session) ExactParallelCtx(ctx context.Context, plan *Plan, workers int) ([]float64, error) {
+	return plan.ExactParallelCtx(ctx, s.store, workers)
 }
 
 // NewRun starts a progressive run through the session cache. Retrieval

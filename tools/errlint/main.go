@@ -1,0 +1,223 @@
+// Command errlint is a dependency-free errcheck equivalent for this module:
+// it flags calls whose error result is silently dropped.
+//
+// A call is reported when it appears as a bare expression statement and its
+// type is `error` or a tuple containing an `error`. Explicitly discarded
+// results (`_ = f()`), deferred calls (`defer f.Close()` is idiomatic), and
+// the fmt printing family (whose errors are os.Stdout/os.Stderr write
+// failures) are not reported.
+//
+// Implementation: `go list -export -deps -json <patterns>` yields compiled
+// export data for every dependency, so each module package can be
+// type-checked from source with the stock gc importer — no code outside the
+// standard library.
+//
+// Usage: go run ./tools/errlint ./...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// listedPackage is the subset of `go list -json` output errlint needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "errlint: %d unchecked error(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func lint(patterns []string) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	var findings []string
+	for _, p := range pkgs {
+		if p.Standard || p.Module == nil {
+			continue // only lint this module's packages
+		}
+		fset := token.NewFileSet()
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, 0)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Uses:  make(map[*ast.Ident]types.Object),
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		for _, f := range files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if dropsError(call, info) && !whitelisted(call, info) {
+					pos := fset.Position(call.Pos())
+					findings = append(findings,
+						fmt.Sprintf("%s:%d:%d: unchecked error: %s",
+							pos.Filename, pos.Line, pos.Column, callName(call, info)))
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+func goList(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, cmd.Wait()
+}
+
+// dropsError reports whether the call's result type is, or contains, error.
+func dropsError(call *ast.CallExpr, info *types.Info) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isError(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isError(tv.Type)
+	}
+}
+
+func isError(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// neverFails are receiver types whose Write-family methods document that
+// they never return a non-nil error (strings.Builder, bytes.Buffer,
+// hash.Hash) — the same exclusions errcheck ships by default.
+var neverFails = map[string]bool{
+	"strings.Builder":  true,
+	"*strings.Builder": true,
+	"bytes.Buffer":     true,
+	"*bytes.Buffer":    true,
+	"hash.Hash":        true,
+	"hash.Hash32":      true,
+	"hash.Hash64":      true,
+}
+
+// whitelisted: the fmt printing family (whose only error source is a failed
+// write to the destination stream, conventionally ignored) and methods on
+// receivers documented to never fail.
+func whitelisted(call *ast.CallExpr, info *types.Info) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && neverFails[tv.Type.String()] {
+		return true
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "fmt"
+}
+
+func callName(call *ast.CallExpr, info *types.Info) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if obj := info.Uses[fun.Sel]; obj != nil {
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return types.TypeString(sig.Recv().Type(), nil) + "." + fun.Sel.Name
+			}
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + fun.Sel.Name
+			}
+		}
+		return fun.Sel.Name
+	default:
+		return "call"
+	}
+}

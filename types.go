@@ -1,8 +1,6 @@
 package repro
 
 import (
-	"math"
-
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/penalty"
@@ -194,13 +192,7 @@ func Sobolev(batchSize int, lambda float64) (Penalty, error) {
 func LpNorm(p float64) (Penalty, error) { return penalty.NewLpNorm(p) }
 
 // LinfNorm returns the max-norm penalty.
-func LinfNorm() Penalty {
-	p, err := penalty.NewLpNorm(math.Inf(1))
-	if err != nil {
-		panic(err) // unreachable: ∞ ≥ 1
-	}
-	return p
-}
+func LinfNorm() Penalty { return penalty.Linf() }
 
 // QuadraticPenalty wraps an arbitrary symmetric PSD matrix as a penalty —
 // "the structural error penalty function could be part of a query submitted
