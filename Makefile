@@ -1,19 +1,20 @@
-# Development targets. `make check` is the gate: vet + errlint + build +
-# tests + race-enabled tests, in that order, failing fast. `make cover`
-# prints a per-package coverage summary. `make bench` runs the
+# Development targets. `make check` is the gate: vet + errlint + obs-lint +
+# build + tests + race-enabled tests, in that order, failing fast. `make
+# cover` prints a per-package coverage summary. `make bench` runs the
 # parallel-engine and scheduler benchmarks at a fixed iteration count
 # (numbers recorded in BENCH_parallel.json and BENCH_sched.json);
 # `make bench-core` runs the CSR/schedule benches behind BENCH_core.json;
 # `make bench-robust` runs the fallible-path overhead benches behind
-# BENCH_robust.json.
+# BENCH_robust.json; `make bench-obs` runs the observability overhead
+# benches behind BENCH_obs.json.
 
 GO ?= go
 
-.PHONY: all check vet errlint build test race cover bench bench-core bench-sched bench-robust bench-all
+.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-all
 
 all: check
 
-check: vet errlint build test race
+check: vet errlint obs-lint build test race
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +23,15 @@ vet:
 # drop an error result.
 errlint:
 	$(GO) run ./tools/errlint ./...
+
+# Library packages must log through internal/obs (structured slog with
+# request IDs), never print to the console directly: no package-log calls,
+# no implicit-stdout fmt printing, no fmt.Fprint* to os.Stdout/os.Stderr.
+# Commands (cmd/) and tests are exempt; fmt.Fprintf into buffers, HTTP
+# responses and other writers is fine and stays unmatched.
+obs-lint:
+	@! grep -rnE '(^|[^.[:alnum:]_])(log\.(Printf|Println|Print|Fatalf?|Fatalln|Panicf?|Panicln)\(|fmt\.(Printf|Println|Print)\(|fmt\.Fprint(f|ln)?\(os\.Std)' internal *.go --include='*.go' | grep -v _test.go \
+		|| { echo "obs-lint: raw console printing in library code; log via internal/obs (slog) instead" >&2; exit 1; }
 
 build:
 	$(GO) build ./...
@@ -56,6 +66,15 @@ bench-sched:
 # the chaos injector and an idle retry layer.
 bench-robust:
 	$(GO) test -run NONE -bench 'BenchmarkExactFallible|BenchmarkDrainFallible|BenchmarkZeroFaultInjector|BenchmarkIdleRetryLayer' -benchmem -benchtime=100x ./internal/core/
+
+# Observability-overhead benchmarks behind BENCH_obs.json: the evaluation
+# hot path with instrumentation compiled in but switched off (must match
+# BENCH_core.json's schedule drain with zero extra allocations), armed with
+# a live registry, with per-run bound tracing, and through the instrumented
+# store wrapper; plus the nil fast-path micro-benches of internal/obs.
+bench-obs:
+	$(GO) test -run NONE -bench 'BenchmarkObs' -benchmem -benchtime=100x ./internal/core/
+	$(GO) test -run NONE -bench 'BenchmarkNil|BenchmarkCounterInc|BenchmarkHistogramObserve' -benchmem ./internal/obs/
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -17,9 +17,13 @@
 // and -max-queued bound admission (beyond both, requests get 429 +
 // Retry-After), -slice sets the retrievals granted per scheduling turn.
 //
-// -pprof exposes net/http/pprof on its own listener (e.g. -pprof
-// localhost:6060), kept off the public mux so profiling the schedule and
-// prefetch paths never reaches query clients.
+// The daemon is fully observed: every request gets an ID that threads
+// through structured logs (-log-format selects text or JSON on stderr),
+// a span trace of its retrieval path, and a per-run trace of the error-bound
+// trajectory. -pprof exposes the debug listener (e.g. -pprof localhost:6060)
+// carrying net/http/pprof, Prometheus metrics at /metrics, and recent span
+// and run traces at /debug/traces — kept off the public mux so none of it
+// reaches query clients.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains in-flight
 // requests for -drain-timeout, cancels whatever is still running, and exits.
@@ -30,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 )
@@ -51,7 +57,9 @@ func main() {
 		slice        = flag.Int("slice", 0, "retrievals per scheduling turn (0 = default 512)")
 		workers      = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
-		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		pprofAddr    = flag.String("pprof", "", "serve pprof, /metrics and /debug/traces on this address (empty = disabled)")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 
 		// Robustness: retry policy over the store's fallible path, and a
 		// deterministic chaos injector underneath it for resilience drills.
@@ -66,6 +74,11 @@ func main() {
 		chaosSeed      = flag.Uint64("chaos-seed", 1, "seed of the deterministic chaos schedule")
 	)
 	flag.Parse()
+	log, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wvqd:", err)
+		os.Exit(1)
+	}
 	cfg := sched.Config{
 		MaxActive: *maxActive,
 		MaxQueued: *maxQueued,
@@ -86,10 +99,23 @@ func main() {
 			Seed:       *chaosSeed,
 		},
 	}
-	if err := run(*dbPath, *addr, *pprofAddr, cfg, robust, *drainTimeout); err != nil {
-		fmt.Fprintln(os.Stderr, "wvqd:", err)
+	if err := run(*dbPath, *addr, *pprofAddr, cfg, robust, *drainTimeout, log); err != nil {
+		log.Error("exiting", "error", err)
 		os.Exit(1)
 	}
+}
+
+// newLogger builds the daemon's structured logger on stderr.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	log, err := obs.NewLogger(format, lv, os.Stderr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -log-format: %w", err)
+	}
+	return log, nil
 }
 
 // robustConfig gathers the optional robustness layers wrapped around the
@@ -105,7 +131,7 @@ func (r robustConfig) chaosEnabled() bool {
 		r.chaos.DelayRate > 0 || r.chaos.DelayEvery > 0
 }
 
-func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, drainTimeout time.Duration) error {
+func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, drainTimeout time.Duration, log *slog.Logger) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
@@ -117,18 +143,32 @@ func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, 
 	}
 	if robust.chaosEnabled() {
 		db.InjectFaults(robust.chaos) // daemon-lifetime: restore fn not needed
-		fmt.Printf("wvqd: chaos injection on (error-rate %g, error-every %d, delay-rate %g, delay %v, seed %d)\n",
-			robust.chaos.ErrorRate, robust.chaos.ErrorEvery,
-			robust.chaos.DelayRate, robust.chaos.Delay, robust.chaos.Seed)
+		log.Info("chaos injection on",
+			"error_rate", robust.chaos.ErrorRate,
+			"error_every", robust.chaos.ErrorEvery,
+			"delay_rate", robust.chaos.DelayRate,
+			"delay", robust.chaos.Delay,
+			"seed", robust.chaos.Seed)
 	}
 	if robust.retry.MaxAttempts > 0 {
 		db.EnableRetries(robust.retry)
-		fmt.Printf("wvqd: retries on (max %d attempts)\n", robust.retry.MaxAttempts)
+		log.Info("retries on", "max_attempts", robust.retry.MaxAttempts)
 	}
-	fmt.Printf("serving %s on %s: %d tuples over %v/%v (%d coefficients, filter %s)\n",
-		dbPath, addr, db.TupleCount(), db.Schema().Names, db.Schema().Sizes,
-		db.NonzeroCoefficients(), db.Filter().Name)
+	// Retrieval timing sits above retries and below the server's coalescing
+	// layer; the observer below arms it.
+	db.EnableInstrumentation()
 	h := server.NewWithConfig(db, cfg)
+	o := obs.NewObserver()
+	o.Log = log
+	h.Observe(o)
+	log.Info("serving",
+		"db", dbPath,
+		"addr", addr,
+		"tuples", db.TupleCount(),
+		"attributes", fmt.Sprint(db.Schema().Names),
+		"sizes", fmt.Sprint(db.Schema().Sizes),
+		"coefficients", db.NonzeroCoefficients(),
+		"filter", db.Filter().Name)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           h,
@@ -140,12 +180,15 @@ func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, 
 	}
 
 	if pprofAddr != "" {
-		pprofSrv := newPprofServer(pprofAddr)
-		defer pprofSrv.Close()
+		debugSrv := newDebugServer(pprofAddr, o)
+		defer debugSrv.Close()
 		go func() {
-			fmt.Printf("wvqd: pprof on http://%s/debug/pprof/\n", pprofAddr)
-			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "wvqd: pprof:", err)
+			log.Info("debug listener on",
+				"pprof", "http://"+pprofAddr+"/debug/pprof/",
+				"metrics", "http://"+pprofAddr+"/metrics",
+				"traces", "http://"+pprofAddr+"/debug/traces")
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
 			}
 		}()
 	}
@@ -161,7 +204,7 @@ func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, 
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately via the default handler
-	fmt.Println("wvqd: shutting down, draining in-flight requests")
+	log.Info("shutting down, draining in-flight requests", "drain_timeout", drainTimeout)
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -174,15 +217,18 @@ func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, 
 	return err
 }
 
-// newPprofServer builds the profiling listener on an explicit mux: importing
-// net/http/pprof only registers on http.DefaultServeMux, which the query
-// server deliberately does not use.
-func newPprofServer(addr string) *http.Server {
+// newDebugServer builds the debug listener on an explicit mux: net/http/pprof
+// handlers (importing the package only registers on http.DefaultServeMux,
+// which the query server deliberately does not use), Prometheus metrics
+// exposition, and the span/run trace dump.
+func newDebugServer(addr string, o *obs.Observer) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", o.MetricsHandler())
+	mux.Handle("/debug/traces", o.TracesHandler())
 	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 }

@@ -15,7 +15,9 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/penalty"
 	"repro/internal/query"
 	"repro/internal/sparse"
@@ -248,6 +250,14 @@ type Run struct {
 	// the first skip, so fault-free runs carry no overhead.
 	skipped    []int
 	skippedSet map[int32]struct{}
+
+	// trace, when attached, receives the run's bound trajectory computed
+	// with coefficient mass traceMass (obs.go). The metrics bundle is NOT
+	// cached on the Run: step paths load the package pointer per call (one
+	// relaxed atomic load, nil when unobserved), which keeps NewRun free of
+	// calls and therefore inlinable — the 1-alloc run setup depends on it.
+	trace     *obs.RunTrace
+	traceMass float64
 }
 
 // NewRun prepares a progressive run: it looks up (or builds once) the
@@ -288,6 +298,11 @@ func (r *Run) Step() bool {
 	if r.cursor >= len(r.sched.order) {
 		return false
 	}
+	m := coObs()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	i := r.sched.order[r.cursor]
 	r.cursor++
 	v := r.store.Get(r.plan.keys[i])
@@ -296,6 +311,12 @@ func (r *Run) Step() bool {
 		for k, qi := range idxs {
 			r.estimates[qi] += cs[k] * v
 		}
+	}
+	if m != nil {
+		m.stepSeconds.Observe(time.Since(start).Seconds())
+	}
+	if r.trace != nil {
+		r.traceStep()
 	}
 	return true
 }

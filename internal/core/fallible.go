@@ -1,11 +1,13 @@
 package core
 
 import (
-	"errors"
-	"sync"
-
 	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -94,6 +96,11 @@ func (r *Run) StepCtx(ctx context.Context) (bool, error) {
 	if r.cursor >= len(r.sched.order) {
 		return false, nil
 	}
+	m := coObs()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	i := r.sched.order[r.cursor]
 	v, err := r.fallible().GetCtx(ctx, r.plan.keys[i])
 	if err != nil {
@@ -102,14 +109,20 @@ func (r *Run) StepCtx(ctx context.Context) (bool, error) {
 		}
 		r.markSkipped(r.cursor)
 		r.cursor++
-		return true, nil
-	}
-	r.cursor++
-	if v != 0 {
-		idxs, cs := r.plan.entryRefs(int(i))
-		for k, qi := range idxs {
-			r.estimates[qi] += cs[k] * v
+	} else {
+		r.cursor++
+		if v != 0 {
+			idxs, cs := r.plan.entryRefs(int(i))
+			for k, qi := range idxs {
+				r.estimates[qi] += cs[k] * v
+			}
 		}
+	}
+	if m != nil {
+		m.stepSeconds.Observe(time.Since(start).Seconds())
+	}
+	if r.trace != nil {
+		r.traceStep()
 	}
 	return true, nil
 }
@@ -130,6 +143,16 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 	if b <= 0 {
 		return 0, nil
 	}
+	m := coObs()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
+	ctx, sp := obs.StartSpan(ctx, "core.run.stepbatch")
+	if sp != nil {
+		sp.SetAttr("batch", strconv.Itoa(b))
+		defer sp.End()
+	}
 	if cap(r.batchVals) < b {
 		r.batchVals = make([]float64, b)
 	}
@@ -138,6 +161,7 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 	var failed map[int]bool
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
+			sp.SetError(cerr)
 			return 0, cerr
 		}
 		var be *storage.BatchError
@@ -146,12 +170,15 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 			for _, ke := range be.Failed {
 				failed[ke.Index] = true
 			}
+			sp.SetAttr("failed", strconv.Itoa(len(be.Failed)))
 		} else {
 			// Total failure: no position of vals can be trusted.
+			sp.SetError(err)
 			for j := 0; j < b; j++ {
 				r.markSkipped(r.cursor + j)
 			}
 			r.cursor += b
+			r.finishStepBatch(m, start)
 			return b, nil
 		}
 	}
@@ -171,7 +198,19 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 		}
 	}
 	r.cursor += b
+	r.finishStepBatch(m, start)
 	return b, nil
+}
+
+// finishStepBatch is StepBatchCtx's shared exit instrumentation: batch
+// latency plus a trace sample.
+func (r *Run) finishStepBatch(m *coreMetrics, start time.Time) {
+	if m != nil {
+		m.stepBatchSeconds.Observe(time.Since(start).Seconds())
+	}
+	if r.trace != nil {
+		r.traceStep()
+	}
 }
 
 // RunToCompletionCtx drains the schedule through the fallible path;

@@ -1,0 +1,90 @@
+package core
+
+// Benches for the observability layer, consumed by `make bench-obs`
+// (BENCH_obs.json): the cost of the instrumentation sites on the evaluation
+// hot path with no registry observed (the "off is free" contract — must stay
+// within noise of BENCH_core.json's BenchmarkStepToCompletion/schedule and
+// add zero allocations), and the armed cost with a live registry, with run
+// tracing, and with the full instrumented store stack.
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/penalty"
+	"repro/internal/storage"
+)
+
+// BenchmarkObsOffDrain is BenchmarkStepToCompletion/schedule with the
+// instrumentation sites compiled in but no registry observed: the nil-check
+// fast path. Compare against BENCH_core.json — the delta is the total cost
+// of the observability layer when switched off.
+func BenchmarkObsOffDrain(b *testing.B) {
+	Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := NewRun(f.plan, pen, f.store)
+		run.RunToCompletion()
+	}
+}
+
+// BenchmarkObsOnDrain is the same drain with a live registry: every step
+// observes the step-latency histogram and the run counter.
+func BenchmarkObsOnDrain(b *testing.B) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	defer Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := NewRun(f.plan, pen, f.store)
+		run.RunToCompletion()
+	}
+}
+
+// BenchmarkObsTracedDrain adds a run trace per run on top of the live
+// registry — the full "watch the bound decay" configuration, StepBatch-paced
+// like the scheduler drives it.
+func BenchmarkObsTracedDrain(b *testing.B) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	defer Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	sink := obs.NewRunTraceSink(0)
+	mass := 1000.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := NewRun(f.plan, pen, f.store)
+		run.AttachTrace(sink.Start("bench", ""), mass)
+		for run.StepBatch(256) > 0 {
+		}
+	}
+}
+
+// BenchmarkObsOffInstrumentedStore drains through the InstrumentedStore
+// wrapper with no registry observed: the wrapper must be a pure pass-through
+// (one atomic load per batch, no clock reads, no allocations).
+func BenchmarkObsOffInstrumentedStore(b *testing.B) {
+	Observe(nil)
+	storage.Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	wrapped := storage.WrapInstrumented(f.store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := NewRun(f.plan, pen, wrapped)
+		run.RunToCompletion()
+	}
+}

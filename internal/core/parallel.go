@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -74,6 +75,10 @@ func newPlanCSR(labels []string, entries []*planEntry, total int) *Plan {
 // the canonical ascending-key order before CSR flattening. The result is
 // entry-for-entry identical to the single-threaded merge.
 func buildPlanParallel(n int, labels []string, gen emitter, workers int) (*Plan, error) {
+	if m := coObs(); m != nil {
+		start := time.Now()
+		defer func() { m.planBuildSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	workers = clampWorkers(workers, n)
 	if workers == 1 {
 		return buildPlanSeq(n, labels, gen)
@@ -341,6 +346,11 @@ func (r *Run) StepBatch(b int) int {
 	if b <= 0 {
 		return 0
 	}
+	m := coObs()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	if cap(r.batchVals) < b {
 		r.batchVals = make([]float64, b)
 	}
@@ -358,6 +368,12 @@ func (r *Run) StepBatch(b int) int {
 		}
 	}
 	r.cursor += b
+	if m != nil {
+		m.stepBatchSeconds.Observe(time.Since(start).Seconds())
+	}
+	if r.trace != nil {
+		r.traceStep()
+	}
 	return b
 }
 

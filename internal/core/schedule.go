@@ -105,6 +105,18 @@ func (p *Plan) ScheduleFor(pen penalty.Penalty) *Schedule {
 		p.schedules[key] = slot
 	}
 	p.schedMu.Unlock()
+	if m := coObs(); m != nil {
+		if ok {
+			m.schedCacheHits.Inc()
+		} else {
+			m.schedCacheMisses.Inc()
+		}
+		// Run accounting lives here rather than in NewRun: NewRun performs
+		// exactly one schedule lookup, and keeping it call-free preserves its
+		// inlinability (a non-inlined NewRun heap-allocates every Run, even
+		// with observation off).
+		m.runsStarted.Inc()
+	}
 	slot.once.Do(func() { slot.s = buildSchedule(p, pen) })
 	return slot.s
 }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+)
+
+// Observer bundles the four observability facilities — metrics registry,
+// span sink, run-trace sink, and structured logger — so layers take one
+// handle instead of four. Any field may be nil; every consumer treats nil
+// as "off".
+type Observer struct {
+	Registry *Registry
+	Spans    *SpanSink
+	Runs     *RunTraceSink
+	Log      *slog.Logger
+}
+
+// NewObserver returns an Observer with a fresh registry, default-capacity
+// span and run-trace sinks, and a discard logger (replace Log to get
+// output).
+func NewObserver() *Observer {
+	return &Observer{
+		Registry: NewRegistry(),
+		Spans:    NewSpanSink(0),
+		Runs:     NewRunTraceSink(0),
+		Log:      NopLogger(),
+	}
+}
+
+// Logger returns the observer's logger, or a discard logger when unset —
+// callers never need a nil check.
+func (o *Observer) Logger() *slog.Logger {
+	if o == nil || o.Log == nil {
+		return NopLogger()
+	}
+	return o.Log
+}
+
+// MetricsHandler serves the registry in Prometheus text exposition format
+// (mounted at /metrics on the debug listener).
+func (o *Observer) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Registry == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := o.Registry.WritePrometheus(w); err != nil {
+			// The write already started; nothing useful to send the client.
+			o.Logger().Warn("metrics write failed", "err", err)
+		}
+	})
+}
+
+// TraceDump is the JSON shape served at /debug/traces.
+type TraceDump struct {
+	// Spans is the span ring, oldest first.
+	Spans []Span `json:"spans"`
+	// SpansTotal counts spans ever recorded, including overwritten ones.
+	SpansTotal uint64 `json:"spans_total"`
+	// Runs is the retained run traces (bound trajectories), oldest first,
+	// including live runs.
+	Runs []RunTraceSnapshot `json:"runs"`
+	// RunsTotal counts run traces ever started.
+	RunsTotal uint64 `json:"runs_total"`
+}
+
+// TracesHandler serves the span ring and the run-trace ring as one JSON
+// document (mounted at /debug/traces on the debug listener).
+func (o *Observer) TracesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if o == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		dump := TraceDump{
+			Spans:      o.Spans.Spans(),
+			SpansTotal: o.Spans.Total(),
+			Runs:       o.Runs.Snapshots(),
+			RunsTotal:  o.Runs.Total(),
+		}
+		if dump.Spans == nil {
+			dump.Spans = []Span{}
+		}
+		if dump.Runs == nil {
+			dump.Runs = []RunTraceSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			o.Logger().Warn("trace dump write failed", "err", err)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Structured logging: wvqd and the HTTP server log through *slog.Logger
+// with request IDs attached, replacing bare fmt/log prints. The helpers
+// here pick the handler format and thread request-scoped loggers through
+// contexts; `make obs-lint` enforces that non-test library packages never
+// print directly.
+
+// NewLogger returns a slog logger writing to w in the given format ("text"
+// or "json") at the given level.
+func NewLogger(format string, level slog.Level, w io.Writer) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default where a
+// logger is required but none was configured.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+type loggerKey struct{}
+
+// WithLogger returns ctx carrying l.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey{}, l)
+}
+
+// Logger returns the context's logger, or a discard logger when none is
+// attached — callers can log unconditionally.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return NopLogger()
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Run traces record the progressive behaviour the paper proves theorems
+// about: the trajectory of the Theorem-1 worst-case error bound as a
+// function of retrieved-coefficient count, per run, observable live. Each
+// point is (retrieved, bound, skipped, elapsed); PolyFit-style error/latency
+// trade-off curves fall straight out of a dump — but continuously, in
+// production, not in an offline experiment harness.
+//
+// Recording is adaptive: a trace keeps at most maxRunPoints points by
+// doubling its stride (keep every 2nd point) whenever it fills, so a
+// million-step exact run and a 50-step progressive one both produce a
+// readable trajectory at bounded memory.
+
+// RunPoint is one sample of a run's bound trajectory.
+type RunPoint struct {
+	// Retrieved is the run's retrieval count (schedule steps taken) at the
+	// sample.
+	Retrieved int `json:"retrieved"`
+	// Bound is the Theorem-1 worst-case penalty bound K^α·ι_p(ξ′) at the
+	// sample (0 once the run is exact).
+	Bound float64 `json:"bound"`
+	// Skipped is the number of entries skipped by failed retrievals so far.
+	Skipped int `json:"skipped,omitempty"`
+	// Elapsed is the time since the run trace started.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// maxRunPoints bounds a trace's memory; on overflow the stride doubles.
+const maxRunPoints = 512
+
+// RunTrace is one run's bound trajectory, recorded by the evaluation core
+// (Run.AttachTrace) as the run advances. A nil *RunTrace is a no-op — the
+// evaluation engine holds one unconditionally and pays a nil check per
+// batch when tracing is off.
+type RunTrace struct {
+	id    string
+	label string
+	start time.Time
+
+	mu       sync.Mutex
+	points   []RunPoint
+	stride   int
+	last     int // retrieved count at the last recorded point, -1 before any
+	finished bool
+	done     bool
+}
+
+// RunTraceSnapshot is the JSON shape of a dumped run trace.
+type RunTraceSnapshot struct {
+	ID    string    `json:"id"`
+	Label string    `json:"label,omitempty"`
+	Start time.Time `json:"start"`
+	// Done reports the run drained its schedule; Finished that the trace was
+	// closed (a live, still-advancing run is Finished=false).
+	Done     bool       `json:"done"`
+	Finished bool       `json:"finished"`
+	Points   []RunPoint `json:"points"`
+}
+
+// Record samples the trajectory at the given retrieval count. Samples
+// arrive in ascending retrieved order; the trace keeps the first sample and
+// every stride-th thereafter, doubling the stride when full.
+func (t *RunTrace) Record(retrieved int, bound float64, skipped int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.finished || (t.last >= 0 && retrieved < t.last+t.stride) {
+		t.mu.Unlock()
+		return
+	}
+	t.appendLocked(retrieved, bound, skipped)
+	t.mu.Unlock()
+}
+
+// appendLocked adds a point, compacting and doubling the stride at
+// capacity.
+func (t *RunTrace) appendLocked(retrieved int, bound float64, skipped int) {
+	if len(t.points) >= maxRunPoints {
+		keep := t.points[:0]
+		for i := 0; i < len(t.points); i += 2 {
+			keep = append(keep, t.points[i])
+		}
+		t.points = keep
+		t.stride *= 2
+	}
+	t.points = append(t.points, RunPoint{
+		Retrieved: retrieved,
+		Bound:     bound,
+		Skipped:   skipped,
+		Elapsed:   time.Since(t.start),
+	})
+	t.last = retrieved
+}
+
+// Finish closes the trace with a final sample (always recorded, whatever
+// the stride) and marks whether the run drained its schedule. The first
+// Finish wins; later calls are no-ops, so the core's auto-finish on Done and
+// a server handler's defer can both call it safely.
+func (t *RunTrace) Finish(done bool, retrieved int, bound float64, skipped int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.finished {
+		if t.last < 0 || retrieved > t.last {
+			t.appendLocked(retrieved, bound, skipped)
+		}
+		t.finished = true
+		t.done = done
+	}
+	t.mu.Unlock()
+}
+
+// Finished reports whether the trace has been closed.
+func (t *RunTrace) Finished() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.finished
+}
+
+// Snapshot returns a copy of the trace's current state (safe while the run
+// is still advancing — that is the "watch a bound decay live" path).
+func (t *RunTrace) Snapshot() RunTraceSnapshot {
+	if t == nil {
+		return RunTraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pts := make([]RunPoint, len(t.points))
+	copy(pts, t.points)
+	return RunTraceSnapshot{
+		ID:       t.id,
+		Label:    t.label,
+		Start:    t.start,
+		Done:     t.done,
+		Finished: t.finished,
+		Points:   pts,
+	}
+}
+
+// DefaultRunTraceCapacity is the sink size NewObserver uses.
+const DefaultRunTraceCapacity = 64
+
+// RunTraceSink retains the last N run traces (live and finished) in a ring.
+type RunTraceSink struct {
+	mu     sync.Mutex
+	buf    []*RunTrace
+	next   int
+	full   bool
+	rtotal uint64
+}
+
+// NewRunTraceSink returns a sink holding the last capacity run traces
+// (capacity ≤ 0 selects DefaultRunTraceCapacity).
+func NewRunTraceSink(capacity int) *RunTraceSink {
+	if capacity <= 0 {
+		capacity = DefaultRunTraceCapacity
+	}
+	return &RunTraceSink{buf: make([]*RunTrace, capacity)}
+}
+
+// Start registers a new run trace under the given ID (conventionally the
+// request ID) and label (e.g. the query batch text). On a nil sink it
+// returns nil — a no-op trace.
+func (s *RunTraceSink) Start(id, label string) *RunTrace {
+	if s == nil {
+		return nil
+	}
+	t := &RunTrace{id: id, label: label, start: time.Now(), stride: 1, last: -1}
+	s.mu.Lock()
+	s.buf[s.next] = t
+	s.next++
+	s.rtotal++
+	if s.next == len(s.buf) {
+		s.next = 0
+		s.full = true
+	}
+	s.mu.Unlock()
+	return t
+}
+
+// Snapshots returns the retained traces' snapshots, oldest first. Live
+// (unfinished) traces are included — their trajectory so far is exactly the
+// "watch the bound decay during a run" view.
+func (s *RunTraceSink) Snapshots() []RunTraceSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	var traces []*RunTrace
+	if s.full {
+		traces = append(traces, s.buf[s.next:]...)
+		traces = append(traces, s.buf[:s.next]...)
+	} else {
+		traces = append(traces, s.buf[:s.next]...)
+	}
+	s.mu.Unlock()
+	out := make([]RunTraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		if t != nil {
+			out = append(out, t.Snapshot())
+		}
+	}
+	return out
+}
+
+// Total returns the number of traces ever started.
+func (s *RunTraceSink) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rtotal
+}

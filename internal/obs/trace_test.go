@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanParentChildAndSink(t *testing.T) {
+	sink := NewSpanSink(8)
+	ctx := WithTrace(context.Background(), "trace-1", sink)
+	if got := TraceID(ctx); got != "trace-1" {
+		t.Fatalf("TraceID = %q", got)
+	}
+
+	ctx1, parent := StartSpan(ctx, "outer")
+	_, child := StartSpan(ctx1, "inner")
+	child.SetAttr("keys", "3")
+	child.SetError(errors.New("boom"))
+	child.End()
+	parent.End()
+
+	spans := sink.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	// Children end first, so the sink holds inner then outer.
+	inner, outer := spans[0], spans[1]
+	if inner.Name != "inner" || outer.Name != "outer" {
+		t.Fatalf("span order: %q, %q", inner.Name, outer.Name)
+	}
+	if inner.ParentID != outer.SpanID {
+		t.Fatalf("inner.ParentID = %d, outer.SpanID = %d", inner.ParentID, outer.SpanID)
+	}
+	if outer.ParentID != 0 {
+		t.Fatalf("outer must be a root span, ParentID = %d", outer.ParentID)
+	}
+	if inner.TraceID != "trace-1" || outer.TraceID != "trace-1" {
+		t.Fatal("trace IDs not propagated")
+	}
+	if len(inner.Attrs) != 1 || inner.Attrs[0].Key != "keys" || inner.Attrs[0].Value != "3" {
+		t.Fatalf("inner attrs: %v", inner.Attrs)
+	}
+	if inner.Err != "boom" {
+		t.Fatalf("inner error: %q", inner.Err)
+	}
+	if sink.Total() != 2 {
+		t.Fatalf("total = %d", sink.Total())
+	}
+}
+
+func TestStartSpanUntracedIsNil(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("untraced context must yield a nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("untraced context must be returned unchanged")
+	}
+	// All methods on the nil span are no-ops.
+	sp.SetAttr("k", "v")
+	sp.SetError(errors.New("x"))
+	sp.End()
+}
+
+func TestSpanSinkRingOverwrite(t *testing.T) {
+	sink := NewSpanSink(4)
+	ctx := WithTrace(context.Background(), "t", sink)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	spans := sink.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if sink.Total() != 10 {
+		t.Fatalf("total = %d, want 10", sink.Total())
+	}
+	// Oldest first: the retained spans are the last four started.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].SpanID <= spans[i-1].SpanID {
+			t.Fatalf("spans not oldest-first: %d then %d", spans[i-1].SpanID, spans[i].SpanID)
+		}
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		seen[id] = true
+	}
+	ctx := WithRequestID(context.Background(), "abc-000001")
+	if got := RequestID(ctx); got != "abc-000001" {
+		t.Fatalf("RequestID = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on bare context = %q", got)
+	}
+}
+
+func TestRunTraceStrideCompaction(t *testing.T) {
+	sink := NewRunTraceSink(4)
+	tr := sink.Start("req-1", "SUM(x)")
+	const steps = 5000
+	for i := 1; i <= steps; i++ {
+		tr.Record(i, 1/float64(i), 0)
+	}
+	tr.Finish(true, steps, 0, 0)
+
+	snap := tr.Snapshot()
+	if len(snap.Points) > maxRunPoints {
+		t.Fatalf("trace kept %d points, cap is %d", len(snap.Points), maxRunPoints)
+	}
+	if len(snap.Points) < maxRunPoints/4 {
+		t.Fatalf("trace kept only %d points — compaction too aggressive", len(snap.Points))
+	}
+	if !snap.Finished || !snap.Done {
+		t.Fatal("trace must be finished and done")
+	}
+	// Retrieved strictly ascending, first point near the start, final point
+	// exact.
+	for i := 1; i < len(snap.Points); i++ {
+		if snap.Points[i].Retrieved <= snap.Points[i-1].Retrieved {
+			t.Fatalf("points not ascending at %d", i)
+		}
+	}
+	if snap.Points[0].Retrieved != 1 {
+		t.Fatalf("first recorded point at %d, want 1", snap.Points[0].Retrieved)
+	}
+	last := snap.Points[len(snap.Points)-1]
+	if last.Retrieved != steps || last.Bound != 0 {
+		t.Fatalf("final point = %+v", last)
+	}
+}
+
+func TestRunTraceFinishFirstWins(t *testing.T) {
+	sink := NewRunTraceSink(0)
+	tr := sink.Start("req-2", "")
+	tr.Record(1, 0.9, 0)
+	tr.Finish(true, 10, 0, 0)
+	tr.Finish(false, 99, 7, 3) // late duplicate (e.g. server handler defer)
+	snap := tr.Snapshot()
+	if !snap.Done {
+		t.Fatal("second Finish must not override the first")
+	}
+	last := snap.Points[len(snap.Points)-1]
+	if last.Retrieved != 10 {
+		t.Fatalf("final point retrieved = %d, want 10", last.Retrieved)
+	}
+	if tr.Record(20, 0.1, 0); len(tr.Snapshot().Points) != len(snap.Points) {
+		t.Fatal("Record after Finish must be ignored")
+	}
+}
+
+func TestRunTraceSinkIncludesLiveTraces(t *testing.T) {
+	sink := NewRunTraceSink(2)
+	live := sink.Start("live", "")
+	live.Record(5, 0.5, 0)
+	snaps := sink.Snapshots()
+	if len(snaps) != 1 || snaps[0].Finished {
+		t.Fatalf("live trace missing or finished: %+v", snaps)
+	}
+	if len(snaps[0].Points) != 1 || snaps[0].Points[0].Bound != 0.5 {
+		t.Fatalf("live points: %+v", snaps[0].Points)
+	}
+}
+
+func TestNilSinksAndTraces(t *testing.T) {
+	var sink *SpanSink
+	if sink.Spans() != nil || sink.Total() != 0 {
+		t.Fatal("nil span sink reads must be empty")
+	}
+	ctx := WithTrace(context.Background(), "id", nil)
+	if _, sp := StartSpan(ctx, "s"); sp != nil {
+		t.Fatal("WithTrace(nil sink) must keep tracing off")
+	}
+	var rsink *RunTraceSink
+	if tr := rsink.Start("x", ""); tr != nil {
+		t.Fatal("nil run-trace sink must hand out nil traces")
+	}
+	if rsink.Snapshots() != nil || rsink.Total() != 0 {
+		t.Fatal("nil run-trace sink reads must be empty")
+	}
+}
+
+func TestObserverHandlers(t *testing.T) {
+	o := NewObserver()
+	o.Registry.Counter("test_handler_total", "Handler.").Inc()
+	ctx := WithTrace(context.Background(), "t", o.Spans)
+	_, sp := StartSpan(ctx, "handler-span")
+	sp.End()
+	o.Runs.Start("r", "label").Finish(true, 1, 0, 0)
+
+	rec := httptest.NewRecorder()
+	o.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_handler_total 1") {
+		t.Fatalf("/metrics body missing counter:\n%s", rec.Body)
+	}
+
+	rec = httptest.NewRecorder()
+	o.TracesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/traces status %d", rec.Code)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("trace dump not JSON: %v", err)
+	}
+	if dump.SpansTotal != 1 || len(dump.Spans) != 1 || dump.Spans[0].Name != "handler-span" {
+		t.Fatalf("span dump: %+v", dump)
+	}
+	if dump.RunsTotal != 1 || len(dump.Runs) != 1 || !dump.Runs[0].Finished {
+		t.Fatalf("run dump: %+v", dump.Runs)
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var sb strings.Builder
+	log, err := NewLogger("json", 0, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hello", "k", "v")
+	var line map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &line); err != nil {
+		t.Fatalf("json log line not JSON: %v (%q)", err, sb.String())
+	}
+	if line["msg"] != "hello" || line["k"] != "v" {
+		t.Fatalf("log line: %v", line)
+	}
+	if _, err := NewLogger("xml", 0, &sb); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	ctx := WithLogger(context.Background(), log)
+	if Logger(ctx) != log {
+		t.Fatal("context logger not returned")
+	}
+	if Logger(context.Background()) == nil {
+		t.Fatal("bare context must yield a usable discard logger")
+	}
+}

@@ -152,6 +152,9 @@ type Progress struct {
 	// Bounds holds the per-query worst-case error bounds (Hölder / Theorem 1
 	// with mass K); nil once the run is exact (Done && !Degraded).
 	Bounds []float64
+	// Bound is the batch-wide Theorem 1 worst-case bound K^α·ι_p(ξ′) with
+	// mass K (0 once the run is exact, or when the job carried no mass).
+	Bound float64
 }
 
 // Stats is a snapshot of the scheduler counters for monitoring.
@@ -231,6 +234,7 @@ func (t *task) snapshot() Progress {
 	}
 	if (!p.Done || p.Degraded) && t.job.Mass > 0 {
 		p.Bounds = run.QueryErrorBounds(t.job.Mass)
+		p.Bound = run.WorstCaseBound(t.job.Mass)
 	}
 	return p
 }
@@ -313,6 +317,9 @@ func (s *Scheduler) Submit(ctx context.Context, job Job) (*Ticket, error) {
 	}
 	if len(s.ring) >= s.cfg.MaxActive && len(s.queue) >= s.cfg.MaxQueued {
 		s.rejected++
+		if m := scObs(); m != nil {
+			m.rejected.Inc()
+		}
 		return nil, ErrOverloaded
 	}
 	tctx, cancel := context.WithCancel(ctx)
@@ -329,6 +336,10 @@ func (s *Scheduler) Submit(ctx context.Context, job Job) (*Ticket, error) {
 		s.queue = append(s.queue, t)
 	}
 	s.submitted++
+	if m := scObs(); m != nil {
+		m.submitted.Inc()
+	}
+	s.syncGaugesLocked()
 	s.cond.Broadcast()
 	go s.watch(t)
 	return &Ticket{t: t, s: s}, nil
@@ -423,7 +434,15 @@ func (s *Scheduler) worker() {
 		// retrievals degrade the run (entries skipped, bounds widened)
 		// instead of panicking a worker, and a non-nil err here is always
 		// the task context ending.
+		var start time.Time
+		m := scObs()
+		if m != nil {
+			start = time.Now()
+		}
 		stepped, err := t.job.Run.StepBatchCtx(t.ctx, n)
+		if m != nil {
+			m.sliceSeconds.Observe(time.Since(start).Seconds())
+		}
 		// The run is owned by this worker until busy clears: snapshot and
 		// the finish decision need no lock.
 		p := t.snapshot()
@@ -485,6 +504,10 @@ func (s *Scheduler) afterSlice(t *task, stepped int, p Progress, err error, fini
 	}
 	s.slices++
 	s.stepped += int64(stepped)
+	if m := scObs(); m != nil {
+		m.slices.Inc()
+		m.stepped.Add(int64(stepped))
+	}
 	first := false
 	if finished {
 		first = s.finishLocked(t, p, err)
@@ -514,7 +537,15 @@ func (s *Scheduler) finishLocked(t *task, p Progress, err error) bool {
 	} else {
 		s.completed++
 	}
+	if m := scObs(); m != nil {
+		if err != nil {
+			m.cancelled.Inc()
+		} else {
+			m.completed.Inc()
+		}
+	}
 	s.promoteLocked()
+	s.syncGaugesLocked()
 	return true
 }
 

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// Observability for the HTTP server. Handler.Observe installs the observer
+// bundle centrally: it points the storage, core and sched instrumentation
+// at the same registry and arms the server's own middleware — request IDs,
+// per-endpoint latency and status-code counters, an in-flight gauge, SSE
+// stream and degraded-response counters, structured request logs, and
+// per-run bound-trajectory traces. With no observer installed ServeHTTP
+// routes directly, exactly as before.
+
+// endpoints is the fixed label set for per-endpoint metrics; unknown paths
+// collapse into "other" so the metric cardinality is bounded.
+var endpoints = []string{"/healthz", "/stats", "/query", "/query/stream", "other"}
+
+// endpointLabel maps a request path to its metric label.
+func endpointLabel(path string) string {
+	switch path {
+	case "/healthz", "/stats", "/query", "/query/stream":
+		return path
+	}
+	return "other"
+}
+
+// serverMetrics is the handler's metric bundle, built once per Observe.
+type serverMetrics struct {
+	reg            *obs.Registry
+	requestSeconds map[string]*obs.Histogram // keyed by endpoint label
+	inFlight       *obs.Gauge
+	sseStreams     *obs.Gauge
+	degraded       *obs.Counter
+}
+
+// Observe installs the observer across the whole retrieval path: the
+// storage, core, and sched package instrumentation all point at
+// o.Registry, and the handler's middleware starts collecting HTTP metrics,
+// request-scoped logs/spans, and per-run bound traces. Pass nil to
+// uninstall everything. Call before serving; the handler reads the
+// installed state on every request.
+func (h *Handler) Observe(o *obs.Observer) {
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Registry
+	}
+	storage.Observe(reg)
+	core.Observe(reg)
+	sched.Observe(reg)
+	h.obs = o
+	if reg == nil {
+		h.met = nil
+		return
+	}
+	m := &serverMetrics{
+		reg:            reg,
+		requestSeconds: make(map[string]*obs.Histogram, len(endpoints)),
+		inFlight: reg.Gauge("wvq_http_in_flight",
+			"HTTP requests currently being served."),
+		sseStreams: reg.Gauge("wvq_http_sse_streams",
+			"SSE progress streams currently open."),
+		degraded: reg.Counter("wvq_http_degraded_total",
+			"Responses served degraded (some retrievals failed permanently)."),
+	}
+	for _, ep := range endpoints {
+		m.requestSeconds[ep] = reg.Histogram("wvq_http_request_seconds",
+			"HTTP request latency by endpoint.", nil, obs.L("endpoint", ep))
+	}
+	h.met = m
+}
+
+// statusRecorder captures the response status code for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if !s.wrote {
+		s.code = http.StatusOK
+		s.wrote = true
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+// flushRecorder is a statusRecorder over a flushable writer: the SSE
+// handler type-asserts http.Flusher, so the wrapper must preserve it.
+type flushRecorder struct {
+	*statusRecorder
+	f http.Flusher
+}
+
+func (f *flushRecorder) Flush() { f.f.Flush() }
+
+// recordStatus wraps w so the middleware can read the response code,
+// preserving http.Flusher when the underlying writer has it.
+func recordStatus(w http.ResponseWriter) (http.ResponseWriter, *statusRecorder) {
+	sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	if f, ok := w.(http.Flusher); ok {
+		return &flushRecorder{statusRecorder: sr, f: f}, sr
+	}
+	return sr, sr
+}
+
+// serveObserved is the instrumented request path: request ID + trace + log
+// threading, in-flight gauge, latency histogram, status-code counter, and
+// one structured log line per request.
+func (h *Handler) serveObserved(w http.ResponseWriter, r *http.Request) {
+	reqID := obs.NewRequestID()
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	ctx = obs.WithTrace(ctx, reqID, h.obs.Spans)
+	log := h.obs.Logger().With("request_id", reqID)
+	ctx = obs.WithLogger(ctx, log)
+	r = r.WithContext(ctx)
+
+	endpoint := endpointLabel(r.URL.Path)
+	wrapped, sr := recordStatus(w)
+
+	h.met.inFlight.Inc()
+	start := time.Now()
+	h.route(wrapped, r)
+	elapsed := time.Since(start)
+	h.met.inFlight.Dec()
+
+	h.met.requestSeconds[endpoint].Observe(elapsed.Seconds())
+	h.met.reg.Counter("wvq_http_requests_total",
+		"HTTP requests by endpoint and status code.",
+		obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(sr.code))).Inc()
+	log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sr.code,
+		"duration_ms", float64(elapsed.Microseconds())/1000)
+}

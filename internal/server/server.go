@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -40,6 +41,10 @@ type Handler struct {
 	// mass caches K = Σ|Δ̂[ξ]| for error bounds; the served view is
 	// immutable, so one enumeration at startup covers every request.
 	mass float64
+	// obs and met are installed by Observe (obs.go); both nil means the
+	// handler serves uninstrumented, exactly as before.
+	obs *obs.Observer
+	met *serverMetrics
 }
 
 // New wraps a database in an HTTP handler with default scheduler sizing.
@@ -129,8 +134,18 @@ type StatsResponse struct {
 }
 
 // ServeHTTP implements http.Handler, routing /query, /query/stream, /stats
-// and /healthz.
+// and /healthz. With an observer installed (Observe), requests pass through
+// the instrumentation middleware first.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.obs != nil && h.met != nil {
+		h.serveObserved(w, r)
+		return
+	}
+	h.route(w, r)
+}
+
+// route dispatches a request to its endpoint handler.
+func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz" && r.Method == http.MethodGet:
 		w.WriteHeader(http.StatusOK)
@@ -147,7 +162,6 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) stats(w http.ResponseWriter) {
-	co, _ := h.db.CoalescingStats()
 	resp := StatsResponse{
 		Tuples:       h.db.TupleCount(),
 		Coefficients: h.db.NonzeroCoefficients(),
@@ -156,8 +170,32 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		Sizes:        h.db.Schema().Sizes,
 		Windows:      h.db.Windows(),
 		Retrievals:   h.db.Retrievals(),
-		Scheduler:    h.sched.Stats(),
-		Coalescing:   co,
+	}
+	if h.met != nil {
+		// One registry snapshot: every scheduler and coalescing number below
+		// was read in a single locked pass, so the JSON is internally
+		// consistent (the old path read the two stat sources at different
+		// instants).
+		snap := h.met.reg.Snapshot()
+		resp.Scheduler = sched.Stats{
+			Submitted: int64(snap["wvq_sched_submitted_total"]),
+			Rejected:  int64(snap["wvq_sched_rejected_total"]),
+			Completed: int64(snap["wvq_sched_completed_total"]),
+			Cancelled: int64(snap["wvq_sched_cancelled_total"]),
+			Slices:    int64(snap["wvq_sched_slices_total"]),
+			Stepped:   int64(snap["wvq_sched_stepped_total"]),
+			Active:    int(snap["wvq_sched_active_runs"]),
+			Queued:    int(snap["wvq_sched_queue_depth"]),
+		}
+		resp.Coalescing = repro.CoalesceStats{
+			Requests:  int64(snap["wvq_storage_coalesce_requests_total"]),
+			Fetched:   int64(snap["wvq_storage_coalesce_fetched_total"]),
+			Coalesced: int64(snap["wvq_storage_coalesce_shared_total"]),
+		}
+	} else {
+		co, _ := h.db.CoalescingStats()
+		resp.Scheduler = h.sched.Stats()
+		resp.Coalescing = co
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -169,6 +207,16 @@ type submission struct {
 	plan   *repro.Plan
 	ticket *sched.Ticket
 	cancel context.CancelFunc
+	// trace is the run's bound-trajectory trace (nil when unobserved); the
+	// endpoint finishes it with the final snapshot once the ticket resolves.
+	trace *obs.RunTrace
+}
+
+// finishTrace closes the submission's run trace with the final snapshot.
+// The core already finished it if the run drained its schedule; this covers
+// budget cuts, timeouts, and cancellations (first Finish wins).
+func (sub *submission) finishTrace(p sched.Progress) {
+	sub.trace.Finish(p.Done, p.Retrieved, p.Bound, p.Skipped)
 }
 
 // admit parses, validates, plans and submits a request. On any failure it
@@ -234,14 +282,25 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	} else {
 		ctx, cancel = context.WithCancel(r.Context())
 	}
+	run := h.db.NewRun(plan, repro.SSE())
+	var trace *obs.RunTrace
+	if h.obs != nil && h.obs.Runs != nil {
+		id := obs.RequestID(r.Context())
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		trace = h.obs.Runs.Start(id, req.Statements)
+		run.AttachTrace(trace, h.mass)
+	}
 	ticket, err := h.sched.Submit(ctx, sched.Job{
-		Run:      h.db.NewRun(plan, repro.SSE()),
+		Run:      run,
 		Budget:   budget,
 		Priority: prio,
 		Mass:     h.mass,
 	})
 	if err != nil {
 		cancel()
+		trace.Finish(false, 0, 0, 0)
 		if errors.Is(err, sched.ErrOverloaded) {
 			w.Header().Set("Retry-After", strconv.Itoa(int(h.sched.RetryAfter().Seconds())))
 			http.Error(w, "overloaded: run table and waiting queue full", http.StatusTooManyRequests)
@@ -250,7 +309,7 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		}
 		return nil
 	}
-	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel}
+	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace}
 }
 
 // response renders a progress snapshot in the /query wire shape.
@@ -282,10 +341,14 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.cancel()
 	final, err := sub.ticket.Final()
+	sub.finishTrace(final)
 	// A degraded result is a partial answer with bounds: 206, not 200.
 	status := http.StatusOK
 	if final.Degraded {
 		status = http.StatusPartialContent
+		if h.met != nil {
+			h.met.degraded.Inc()
+		}
 	}
 	switch {
 	case err == nil:

@@ -30,6 +30,10 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.cancel()
+	if h.met != nil {
+		h.met.sseStreams.Inc()
+		defer h.met.sseStreams.Dec()
+	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -48,6 +52,10 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 			writeEvent(w, flusher, "progress", sub.response(p, false))
 		case <-sub.ticket.Done():
 			final, err := sub.ticket.Final()
+			sub.finishTrace(final)
+			if final.Degraded && h.met != nil {
+				h.met.degraded.Inc()
+			}
 			switch {
 			case err == nil:
 				writeEvent(w, flusher, "done", sub.response(final, false))

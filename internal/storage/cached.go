@@ -52,8 +52,14 @@ func NewCachedStore(inner Store, capacity int) (*CachedStore, error) {
 func (s *CachedStore) Get(key int) float64 {
 	if el, ok := s.index[key]; ok {
 		s.hits++
+		if m := stObs(); m != nil {
+			m.cacheHits.Inc()
+		}
 		s.lru.MoveToFront(el)
 		return el.Value.(cachedCell).val
+	}
+	if m := stObs(); m != nil {
+		m.cacheMisses.Inc()
 	}
 	v := s.inner.Get(key)
 	s.insert(key, v)
@@ -67,8 +73,14 @@ func (s *CachedStore) Get(key int) float64 {
 func (s *CachedStore) GetCtx(ctx context.Context, key int) (float64, error) {
 	if el, ok := s.index[key]; ok {
 		s.hits++
+		if m := stObs(); m != nil {
+			m.cacheHits.Inc()
+		}
 		s.lru.MoveToFront(el)
 		return el.Value.(cachedCell).val, nil
+	}
+	if m := stObs(); m != nil {
+		m.cacheMisses.Inc()
 	}
 	v, err := s.finner.GetCtx(ctx, key)
 	if err != nil {

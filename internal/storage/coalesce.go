@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // CoalescingStore is a singleflight layer over a concurrent-safe store: when
@@ -71,6 +74,7 @@ func (s *CoalescingStore) Get(key int) float64 {
 		s.mu.Unlock()
 		<-f.done
 		s.coalesced.Add(1)
+		obsCoalesce(1, 0, 1)
 		return f.val
 	}
 	f := &flight{done: make(chan struct{})}
@@ -79,6 +83,7 @@ func (s *CoalescingStore) Get(key int) float64 {
 
 	f.val = s.inner.Get(key)
 	s.fetched.Add(1)
+	obsCoalesce(1, 1, 0)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -99,6 +104,7 @@ func (s *CoalescingStore) GetCtx(ctx context.Context, key int) (float64, error) 
 		select {
 		case <-f.done:
 			s.coalesced.Add(1)
+			obsCoalesce(1, 0, 1)
 			return f.val, f.err
 		case <-ctx.Done():
 			return 0, ctx.Err()
@@ -110,6 +116,7 @@ func (s *CoalescingStore) GetCtx(ctx context.Context, key int) (float64, error) 
 
 	f.val, f.err = s.finner.GetCtx(ctx, key)
 	s.fetched.Add(1)
+	obsCoalesce(1, 1, 0)
 
 	s.mu.Lock()
 	delete(s.inflight, key)
@@ -128,6 +135,7 @@ func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
 		panic("storage: GetBatch keys/dst length mismatch")
 	}
 	s.requests.Add(int64(len(keys)))
+	obsCoalesce(int64(len(keys)), 0, 0)
 
 	type join struct {
 		pos int
@@ -162,6 +170,7 @@ func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
 		vals := make([]float64, len(leadKeys))
 		BatchGet(s.inner, leadKeys, vals)
 		s.fetched.Add(int64(len(leadKeys)))
+		obsCoalesce(0, int64(len(leadKeys)), 0)
 		s.mu.Lock()
 		for _, k := range leadKeys {
 			delete(s.inflight, k)
@@ -181,6 +190,7 @@ func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
 		<-jn.f.done
 		dst[jn.pos] = jn.f.val
 		s.coalesced.Add(1)
+		obsCoalesce(0, 0, 1)
 	}
 }
 
@@ -190,11 +200,20 @@ func (s *CoalescingStore) GetBatch(keys []int, dst []float64) {
 // a joined leader — are collected into a *BatchError; a non-batch failure of
 // the lead fetch (cancellation, total outage) is propagated to every flight
 // we lead, so joiners fail too, and returned whole.
-func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) (err error) {
 	if len(keys) != len(dst) {
 		panic("storage: BatchGetCtx keys/dst length mismatch")
 	}
+	ctx, sp := obs.StartSpan(ctx, "storage.coalesce.batchget")
+	if sp != nil {
+		sp.SetAttr("keys", strconv.Itoa(len(keys)))
+		defer func() {
+			sp.SetError(err)
+			sp.End()
+		}()
+	}
 	s.requests.Add(int64(len(keys)))
+	obsCoalesce(int64(len(keys)), 0, 0)
 
 	type join struct {
 		pos int
@@ -225,11 +244,15 @@ func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []flo
 	}
 	s.mu.Unlock()
 
+	sp.SetAttr("leads", strconv.Itoa(len(leadKeys)))
+	sp.SetAttr("joins", strconv.Itoa(len(joins)))
+
 	var whole error // non-batch failure of the lead fetch
 	if len(leadKeys) > 0 {
 		vals := make([]float64, len(leadKeys))
 		err := s.finner.BatchGetCtx(ctx, leadKeys, vals)
 		s.fetched.Add(int64(len(leadKeys)))
+		obsCoalesce(0, int64(len(leadKeys)), 0)
 		var be *BatchError
 		switch {
 		case err == nil:
@@ -274,6 +297,7 @@ func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []flo
 			return ctx.Err()
 		}
 		s.coalesced.Add(1)
+		obsCoalesce(0, 0, 1)
 		if jn.f.err != nil {
 			failed = append(failed, KeyError{Index: jn.pos, Key: keys[jn.pos], Err: jn.f.err})
 			continue

@@ -146,11 +146,13 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 func (s *FaultStore) GetCtx(ctx context.Context, key int) (float64, error) {
 	errNow, delayNow := s.tick()
 	if delayNow || s.delayKey(key) {
+		obsFaultDelay()
 		if err := sleepCtx(ctx, s.cfg.Delay); err != nil {
 			return 0, err
 		}
 	}
 	if errNow || s.errKey(key) {
+		obsFaultErrors(1)
 		return 0, &KeyError{Key: key, Err: s.cfg.Err}
 	}
 	return s.finner.GetCtx(ctx, key)
@@ -181,7 +183,9 @@ func (s *FaultStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64)
 		good = append(good, k)
 		goodPos = append(goodPos, i)
 	}
+	obsFaultErrors(int64(len(failed)))
 	if delay {
+		obsFaultDelay()
 		if err := sleepCtx(ctx, s.cfg.Delay); err != nil {
 			return err
 		}

@@ -1,0 +1,243 @@
+package storage
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observability for the storage layer. Observe installs a metrics bundle
+// into a package-level atomic pointer; every layer (cache, coalescing,
+// retry, fault injection) checks the pointer on its counting paths, and the
+// InstrumentedStore wrapper times the retrieval calls themselves. With no
+// registry observed the pointer is nil and every site is one atomic load
+// plus a branch — no allocation, no time.Now.
+
+// storageMetrics is the package's metric bundle, built once per Observe.
+type storageMetrics struct {
+	getSeconds      *obs.Histogram // latency of single fallible/infallible gets
+	batchSeconds    *obs.Histogram // latency of batched gets
+	batchKeys       *obs.Counter   // keys requested through batched gets
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	coalesceReqs    *obs.Counter
+	coalesceFetched *obs.Counter
+	coalesceShared  *obs.Counter
+	retryAttempts   *obs.Counter
+	retryExhausted  *obs.Counter
+	faultErrors     *obs.Counter
+	faultDelays     *obs.Counter
+}
+
+var stMetrics atomic.Pointer[storageMetrics]
+
+// Observe points the storage layer's instrumentation at reg. Pass nil to
+// uninstall (the default state): all instrumentation sites degrade to an
+// atomic load and a nil check.
+func Observe(reg *obs.Registry) {
+	if reg == nil {
+		stMetrics.Store(nil)
+		return
+	}
+	stMetrics.Store(&storageMetrics{
+		getSeconds: reg.Histogram("wvq_storage_get_seconds",
+			"Latency of single-coefficient retrievals.", nil),
+		batchSeconds: reg.Histogram("wvq_storage_batchget_seconds",
+			"Latency of batched coefficient retrievals.", nil),
+		batchKeys: reg.Counter("wvq_storage_batchget_keys_total",
+			"Coefficients requested through batched retrievals."),
+		cacheHits: reg.Counter("wvq_storage_cache_hits_total",
+			"Coefficient cache hits."),
+		cacheMisses: reg.Counter("wvq_storage_cache_misses_total",
+			"Coefficient cache misses (fetches that reached the wrapped store)."),
+		coalesceReqs: reg.Counter("wvq_storage_coalesce_requests_total",
+			"Coefficients requested through the coalescing layer."),
+		coalesceFetched: reg.Counter("wvq_storage_coalesce_fetched_total",
+			"Coefficients physically fetched by the coalescing layer."),
+		coalesceShared: reg.Counter("wvq_storage_coalesce_shared_total",
+			"Coefficients served by joining another caller's in-flight fetch."),
+		retryAttempts: reg.Counter("wvq_storage_retry_attempts_total",
+			"Retrieval attempts issued by the retry layer, including first tries."),
+		retryExhausted: reg.Counter("wvq_storage_retry_exhausted_total",
+			"Keys whose retrieval failed on every retry attempt."),
+		faultErrors: reg.Counter("wvq_storage_faults_injected_total",
+			"Failures injected by the fault layer.", obs.L("kind", "error")),
+		faultDelays: reg.Counter("wvq_storage_faults_injected_total",
+			"Failures injected by the fault layer.", obs.L("kind", "delay")),
+	})
+}
+
+// stObs returns the installed bundle, or nil when observation is off.
+func stObs() *storageMetrics { return stMetrics.Load() }
+
+// obsCoalesce mirrors coalescing counters into the observed registry.
+func obsCoalesce(requests, fetched, shared int64) {
+	m := stObs()
+	if m == nil {
+		return
+	}
+	m.coalesceReqs.Add(requests)
+	m.coalesceFetched.Add(fetched)
+	m.coalesceShared.Add(shared)
+}
+
+// obsRetryAttempts counts retrieval attempts issued by the retry layer.
+func obsRetryAttempts(n int64) {
+	if m := stObs(); m != nil {
+		m.retryAttempts.Add(n)
+	}
+}
+
+// obsRetryExhausted counts keys whose attempts ran out.
+func obsRetryExhausted(n int64) {
+	if m := stObs(); m != nil {
+		m.retryExhausted.Add(n)
+	}
+}
+
+// obsFaultErrors counts injected failures.
+func obsFaultErrors(n int64) {
+	if m := stObs(); m != nil {
+		m.faultErrors.Add(n)
+	}
+}
+
+// obsFaultDelay counts injected delays.
+func obsFaultDelay() {
+	if m := stObs(); m != nil {
+		m.faultDelays.Inc()
+	}
+}
+
+// InstrumentedStore wraps a Store and times every retrieval against the
+// observed registry: single gets feed wvq_storage_get_seconds, batched gets
+// wvq_storage_batchget_seconds plus a key-count counter. When no registry
+// is observed the wrapper is a pass-through with one atomic load per call.
+type InstrumentedStore struct {
+	inner  Store
+	finner FallibleStore
+}
+
+// NewInstrumentedStore wraps inner.
+func NewInstrumentedStore(inner Store) *InstrumentedStore {
+	return &InstrumentedStore{inner: inner, finner: AsFallible(inner)}
+}
+
+// WrapInstrumented wraps inner like NewInstrumentedStore, preserving the
+// Concurrent marker (the wrapper itself is stateless) so a concurrent-safe
+// store stays accepted wherever the original was.
+func WrapInstrumented(inner Store) FallibleStore {
+	w := NewInstrumentedStore(inner)
+	if _, ok := inner.(Concurrent); ok {
+		return concurrentInstrumented{w}
+	}
+	return w
+}
+
+// IsInstrumented reports whether s is an instrumentation wrapper.
+func IsInstrumented(s Store) bool {
+	switch s.(type) {
+	case *InstrumentedStore, concurrentInstrumented:
+		return true
+	}
+	return false
+}
+
+// concurrentInstrumented marks an InstrumentedStore over a concurrent-safe
+// store as itself concurrent-safe.
+type concurrentInstrumented struct{ *InstrumentedStore }
+
+// ConcurrentSafe implements Concurrent.
+func (concurrentInstrumented) ConcurrentSafe() {}
+
+// Get implements Store, timing the retrieval when observed.
+func (s *InstrumentedStore) Get(key int) float64 {
+	m := stObs()
+	if m == nil {
+		return s.inner.Get(key)
+	}
+	start := time.Now()
+	v := s.inner.Get(key)
+	m.getSeconds.Observe(time.Since(start).Seconds())
+	return v
+}
+
+// GetBatch implements BatchGetter, timing the batch when observed.
+func (s *InstrumentedStore) GetBatch(keys []int, dst []float64) {
+	m := stObs()
+	if m == nil {
+		BatchGet(s.inner, keys, dst)
+		return
+	}
+	start := time.Now()
+	BatchGet(s.inner, keys, dst)
+	m.batchSeconds.Observe(time.Since(start).Seconds())
+	m.batchKeys.Add(int64(len(keys)))
+}
+
+// GetCtx implements FallibleStore, timing the retrieval when observed.
+func (s *InstrumentedStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	m := stObs()
+	if m == nil {
+		return s.finner.GetCtx(ctx, key)
+	}
+	start := time.Now()
+	v, err := s.finner.GetCtx(ctx, key)
+	m.getSeconds.Observe(time.Since(start).Seconds())
+	return v, err
+}
+
+// BatchGetCtx implements FallibleStore, timing the batch when observed.
+func (s *InstrumentedStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	m := stObs()
+	if m == nil {
+		return s.finner.BatchGetCtx(ctx, keys, dst)
+	}
+	start := time.Now()
+	err := s.finner.BatchGetCtx(ctx, keys, dst)
+	m.batchSeconds.Observe(time.Since(start).Seconds())
+	m.batchKeys.Add(int64(len(keys)))
+	return err
+}
+
+// Add implements Updatable when the wrapped store does; it panics otherwise.
+func (s *InstrumentedStore) Add(key int, delta float64) {
+	u, ok := s.inner.(Updatable)
+	if !ok {
+		panic("storage: wrapped store is not updatable")
+	}
+	u.Add(key, delta)
+}
+
+// Retrievals implements Store.
+func (s *InstrumentedStore) Retrievals() int64 { return s.inner.Retrievals() }
+
+// ResetStats implements Store.
+func (s *InstrumentedStore) ResetStats() { s.inner.ResetStats() }
+
+// NonzeroCount implements Store.
+func (s *InstrumentedStore) NonzeroCount() int { return s.inner.NonzeroCount() }
+
+// Enumerable reports whether the wrapped store supports enumeration.
+func (s *InstrumentedStore) Enumerable() bool { return IsEnumerable(s.inner) }
+
+// ForEachNonzero implements Enumerable when the wrapped store does; it
+// panics otherwise (check Enumerable first).
+func (s *InstrumentedStore) ForEachNonzero(fn func(key int, value float64) bool) {
+	e, ok := s.inner.(Enumerable)
+	if !ok {
+		panic("storage: wrapped store is not enumerable")
+	}
+	e.ForEachNonzero(fn)
+}
+
+var (
+	_ Store         = (*InstrumentedStore)(nil)
+	_ BatchGetter   = (*InstrumentedStore)(nil)
+	_ Updatable     = (*InstrumentedStore)(nil)
+	_ Enumerable    = (*InstrumentedStore)(nil)
+	_ FallibleStore = (*InstrumentedStore)(nil)
+	_ Concurrent    = concurrentInstrumented{}
+)

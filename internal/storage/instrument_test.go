@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// observeTest installs a fresh registry for the storage layer and uninstalls
+// it on cleanup so other tests see the default (off) state.
+func observeTest(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	Observe(reg)
+	t.Cleanup(func() { Observe(nil) })
+	return reg
+}
+
+func testDense() []float64 {
+	vals := make([]float64, 16)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	return vals
+}
+
+func TestInstrumentedStoreTimesRetrievals(t *testing.T) {
+	reg := observeTest(t)
+	s := WrapInstrumented(NewArrayStore(testDense()))
+
+	if v := s.Get(3); v != 4 {
+		t.Fatalf("Get = %v", v)
+	}
+	dst := make([]float64, 2)
+	BatchGet(s, []int{0, 5}, dst)
+	ctx := context.Background()
+	if _, err := s.GetCtx(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BatchGetCtx(ctx, []int{2, 3, 4}, make([]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if snap["wvq_storage_get_seconds_count"] != 2 {
+		t.Fatalf("get observations = %v", snap["wvq_storage_get_seconds_count"])
+	}
+	if snap["wvq_storage_batchget_seconds_count"] != 2 {
+		t.Fatalf("batch observations = %v", snap["wvq_storage_batchget_seconds_count"])
+	}
+	if snap["wvq_storage_batchget_keys_total"] != 5 {
+		t.Fatalf("batch keys = %v", snap["wvq_storage_batchget_keys_total"])
+	}
+}
+
+func TestInstrumentedStorePreservesMarkers(t *testing.T) {
+	plain := WrapInstrumented(NewArrayStore(testDense()))
+	if _, ok := plain.(Concurrent); ok {
+		t.Fatal("wrapper over a plain store must not claim concurrency")
+	}
+	conc := WrapInstrumented(NewConcurrentStore(NewArrayStore(testDense())))
+	if _, ok := conc.(Concurrent); !ok {
+		t.Fatal("wrapper must preserve the Concurrent marker")
+	}
+	if !IsInstrumented(plain.(Store)) || !IsInstrumented(conc.(Store)) {
+		t.Fatal("IsInstrumented must recognize both wrapper shapes")
+	}
+	if IsInstrumented(NewArrayStore(testDense())) {
+		t.Fatal("IsInstrumented false positive")
+	}
+	// Pass-through of the Updatable and Enumerable faces.
+	u, ok := plain.(Updatable)
+	if !ok {
+		t.Fatal("wrapper must stay updatable over an updatable store")
+	}
+	u.Add(0, 9)
+	if v := plain.Get(0); v != 10 {
+		t.Fatalf("Add through wrapper: got %v", v)
+	}
+}
+
+func TestCacheCountersMirrored(t *testing.T) {
+	reg := observeTest(t)
+	cs, err := NewCachedStore(NewArrayStore(testDense()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs.Get(1) // miss
+	cs.Get(1) // hit
+	cs.Get(2) // miss
+	snap := reg.Snapshot()
+	if snap["wvq_storage_cache_hits_total"] != 1 {
+		t.Fatalf("hits = %v", snap["wvq_storage_cache_hits_total"])
+	}
+	if snap["wvq_storage_cache_misses_total"] != 2 {
+		t.Fatalf("misses = %v", snap["wvq_storage_cache_misses_total"])
+	}
+}
+
+func TestRetryAndFaultCountersMirrored(t *testing.T) {
+	reg := observeTest(t)
+	// Every third fallible retrieval fails once; two attempts recover it.
+	faulty := WrapFaults(NewArrayStore(testDense()), FaultConfig{ErrorEvery: 3})
+	retr := WrapRetries(faulty.(Store), RetryConfig{MaxAttempts: 2, BaseDelay: time.Microsecond})
+	ctx := context.Background()
+	dst := make([]float64, 6)
+	if err := retr.BatchGetCtx(ctx, []int{0, 1, 2, 3, 4, 5}, dst); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap[`wvq_storage_faults_injected_total{kind="error"}`] == 0 {
+		t.Fatal("no injected faults counted")
+	}
+	// First round issues 6 attempts; recovered keys add a second round.
+	if snap["wvq_storage_retry_attempts_total"] <= 6 {
+		t.Fatalf("retry attempts = %v", snap["wvq_storage_retry_attempts_total"])
+	}
+	if snap["wvq_storage_retry_exhausted_total"] != 0 {
+		t.Fatalf("exhausted = %v on a recovering store", snap["wvq_storage_retry_exhausted_total"])
+	}
+
+	// A store that always fails exhausts the budget.
+	dead := WrapFaults(NewArrayStore(testDense()), FaultConfig{ErrorRate: 1})
+	dretr := WrapRetries(dead.(Store), RetryConfig{MaxAttempts: 2, BaseDelay: time.Microsecond})
+	err := dretr.BatchGetCtx(ctx, []int{0, 1}, make([]float64, 2))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	snap = reg.Snapshot()
+	if snap["wvq_storage_retry_exhausted_total"] != 2 {
+		t.Fatalf("exhausted = %v", snap["wvq_storage_retry_exhausted_total"])
+	}
+}
+
+func TestCoalesceCountersMatchStats(t *testing.T) {
+	reg := observeTest(t)
+	co := NewCoalescingStore(NewConcurrentStore(NewArrayStore(testDense())))
+	dst := make([]float64, 4)
+	if err := co.BatchGetCtx(context.Background(), []int{0, 1, 2, 3}, dst); err != nil {
+		t.Fatal(err)
+	}
+	co.Get(7)
+	stats := co.Stats()
+	snap := reg.Snapshot()
+	if int64(snap["wvq_storage_coalesce_requests_total"]) != stats.Requests {
+		t.Fatalf("requests: registry %v vs stats %d", snap["wvq_storage_coalesce_requests_total"], stats.Requests)
+	}
+	if int64(snap["wvq_storage_coalesce_fetched_total"]) != stats.Fetched {
+		t.Fatalf("fetched: registry %v vs stats %d", snap["wvq_storage_coalesce_fetched_total"], stats.Fetched)
+	}
+	if int64(snap["wvq_storage_coalesce_shared_total"]) != stats.Coalesced {
+		t.Fatalf("shared: registry %v vs stats %d", snap["wvq_storage_coalesce_shared_total"], stats.Coalesced)
+	}
+}
+
+// TestUnobservedPassThroughZeroAllocs pins the nil fast path of the
+// instrumentation wrapper itself: with no registry observed, Get through the
+// wrapper must not allocate.
+func TestUnobservedPassThroughZeroAllocs(t *testing.T) {
+	Observe(nil)
+	s := WrapInstrumented(NewArrayStore(testDense()))
+	if n := testing.AllocsPerRun(100, func() {
+		s.Get(3)
+	}); n != 0 {
+		t.Fatalf("unobserved Get allocated %v times per run", n)
+	}
+}

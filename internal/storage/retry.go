@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrRetriesExhausted wraps the final error of a retrieval that failed on
@@ -124,6 +127,7 @@ func (s *RetryStore) exhausted(last error) error {
 func (s *RetryStore) GetCtx(ctx context.Context, key int) (float64, error) {
 	var last error
 	for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+		obsRetryAttempts(1)
 		actx, cancel := s.attemptCtx(ctx)
 		v, err := s.finner.GetCtx(actx, key)
 		cancel()
@@ -140,6 +144,7 @@ func (s *RetryStore) GetCtx(ctx context.Context, key int) (float64, error) {
 			}
 		}
 	}
+	obsRetryExhausted(1)
 	return 0, &KeyError{Key: key, Err: s.exhausted(last)}
 }
 
@@ -148,9 +153,19 @@ func (s *RetryStore) GetCtx(ctx context.Context, key int) (float64, error) {
 // shrinks the batch. Keys still failing when attempts run out come back in a
 // *BatchError with each cause wrapped in ErrRetriesExhausted; cancellation
 // aborts the whole call with ctx.Err().
-func (s *RetryStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+func (s *RetryStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) (err error) {
 	if len(keys) != len(dst) {
 		panic("storage: BatchGetCtx keys/dst length mismatch")
+	}
+	ctx, sp := obs.StartSpan(ctx, "storage.retry.batchget")
+	attempts := 0
+	if sp != nil {
+		sp.SetAttr("keys", strconv.Itoa(len(keys)))
+		defer func() {
+			sp.SetAttr("attempts", strconv.Itoa(attempts))
+			sp.SetError(err)
+			sp.End()
+		}()
 	}
 	// pend maps the positions still unfetched; initially the whole batch.
 	pend := make([]int, len(keys))
@@ -162,6 +177,8 @@ func (s *RetryStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64)
 	vals := make([]float64, len(keys))
 	var lastFailed []KeyError // failures of the most recent attempt, batch-relative
 	for attempt := 1; attempt <= s.cfg.MaxAttempts; attempt++ {
+		attempts = attempt
+		obsRetryAttempts(int64(len(pend)))
 		actx, cancel := s.attemptCtx(ctx)
 		err := s.finner.BatchGetCtx(actx, pendKeys[:len(pend)], vals[:len(pend)])
 		cancel()
@@ -207,6 +224,7 @@ func (s *RetryStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64)
 			}
 		}
 	}
+	obsRetryExhausted(int64(len(lastFailed)))
 	failed := make([]KeyError, len(lastFailed))
 	for i, ke := range lastFailed {
 		failed[i] = KeyError{Index: ke.Index, Key: ke.Key, Err: s.exhausted(ke.Err)}

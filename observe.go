@@ -1,0 +1,28 @@
+package repro
+
+import (
+	"repro/internal/storage"
+)
+
+// This file is the facade of the observability layer. The metrics registry,
+// tracing and logging primitives live in internal/obs; the HTTP handler's
+// Observe method (internal/server) points every layer's instrumentation at
+// one registry. The database-side hook below adds retrieval timing.
+
+// EnableInstrumentation wraps the database's store so every retrieval —
+// single and batched, fallible and infallible — is timed into the observed
+// metrics registry (wvq_storage_get_seconds, wvq_storage_batchget_seconds).
+// With no registry observed the wrapper is a pass-through: one atomic load
+// and a branch per call, no clock reads, no allocation.
+//
+// Layering: call after InjectFaults and EnableRetries (so the timings cover
+// the full fallible path, retries included) and before the store is handed
+// to the HTTP server, whose coalescing layer goes on top — coalescing
+// counters then report shared fetches while the timing wrapper reports the
+// physical retrievals underneath. Idempotent.
+func (db *Database) EnableInstrumentation() {
+	if storage.IsInstrumented(db.store) {
+		return
+	}
+	db.store = storage.WrapInstrumented(db.store).(storage.Updatable)
+}
