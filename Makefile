@@ -6,11 +6,12 @@
 # `make bench-core` runs the CSR/schedule benches behind BENCH_core.json;
 # `make bench-robust` runs the fallible-path overhead benches behind
 # BENCH_robust.json; `make bench-obs` runs the observability overhead
-# benches behind BENCH_obs.json.
+# benches behind BENCH_obs.json; `make bench-load` replays the wvqbench
+# prepared-vs-ad-hoc load workload behind BENCH_load.json.
 
 GO ?= go
 
-.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-all
+.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-all
 
 all: check
 
@@ -75,6 +76,13 @@ bench-robust:
 bench-obs:
 	$(GO) test -run NONE -bench 'BenchmarkObs' -benchmem -benchtime=100x ./internal/core/
 	$(GO) test -run NONE -bench 'BenchmarkNil|BenchmarkCounterInc|BenchmarkHistogramObserve' -benchmem ./internal/obs/
+
+# Prepared-vs-ad-hoc load benchmark behind BENCH_load.json: wvqbench drives
+# the in-process HTTP handler with 1024 concurrent streams per class, and the
+# registry-hit microbenches show the zero-construction execute path.
+bench-load:
+	$(GO) test -run NONE -bench 'BenchmarkPlanRegistry' -benchmem -benchtime=100x ./internal/core/
+	$(GO) run ./cmd/wvqbench -out BENCH_load.json
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -17,6 +17,11 @@
 // and -max-queued bound admission (beyond both, requests get 429 +
 // Retry-After), -slice sets the retrievals granted per scheduling turn.
 //
+// POST /prepare registers a batch once and returns a handle that /query and
+// /query/stream execute without re-planning; -plan-cache bounds the
+// prepared-plan registry and -max-prepared-per-tenant caps one client's
+// concurrent registrations (X-Tenant header; exceeding it gets 429).
+//
 // The daemon is fully observed: every request gets an ID that threads
 // through structured logs (-log-format selects text or JSON on stderr),
 // a span trace of its retrieval path, and a per-run trace of the error-bound
@@ -56,6 +61,8 @@ func main() {
 		maxQueued    = flag.Int("max-queued", 0, "runs waiting behind the table before 429 (0 = default 256)")
 		slice        = flag.Int("slice", 0, "retrievals per scheduling turn (0 = default 512)")
 		workers      = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
+		planCache    = flag.Int("plan-cache", 0, "prepared plans held in the registry (0 = default 256)")
+		maxPrepared  = flag.Int("max-prepared-per-tenant", 0, "prepared plans one tenant may hold (0 = default 32, negative = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 		pprofAddr    = flag.String("pprof", "", "serve pprof, /metrics and /debug/traces on this address (empty = disabled)")
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
@@ -79,11 +86,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wvqd:", err)
 		os.Exit(1)
 	}
-	cfg := sched.Config{
-		MaxActive: *maxActive,
-		MaxQueued: *maxQueued,
-		Slice:     *slice,
-		Workers:   *workers,
+	opts := server.Options{
+		Sched: sched.Config{
+			MaxActive:            *maxActive,
+			MaxQueued:            *maxQueued,
+			Slice:                *slice,
+			Workers:              *workers,
+			MaxPreparedPerTenant: *maxPrepared,
+		},
+		PlanCache: *planCache,
 	}
 	robust := robustConfig{
 		retry: repro.RetryConfig{
@@ -99,7 +110,7 @@ func main() {
 			Seed:       *chaosSeed,
 		},
 	}
-	if err := run(*dbPath, *addr, *pprofAddr, cfg, robust, *drainTimeout, log); err != nil {
+	if err := run(*dbPath, *addr, *pprofAddr, opts, robust, *drainTimeout, log); err != nil {
 		log.Error("exiting", "error", err)
 		os.Exit(1)
 	}
@@ -131,7 +142,7 @@ func (r robustConfig) chaosEnabled() bool {
 		r.chaos.DelayRate > 0 || r.chaos.DelayEvery > 0
 }
 
-func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, drainTimeout time.Duration, log *slog.Logger) error {
+func run(dbPath, addr, pprofAddr string, opts server.Options, robust robustConfig, drainTimeout time.Duration, log *slog.Logger) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
@@ -157,7 +168,7 @@ func run(dbPath, addr, pprofAddr string, cfg sched.Config, robust robustConfig, 
 	// Retrieval timing sits above retries and below the server's coalescing
 	// layer; the observer below arms it.
 	db.EnableInstrumentation()
-	h := server.NewWithConfig(db, cfg)
+	h := server.NewWithOptions(db, opts)
 	o := obs.NewObserver()
 	o.Log = log
 	h.Observe(o)

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"math"
 	"sort"
@@ -62,10 +63,19 @@ type Plan struct {
 	idxOnce     sync.Once
 	entryIdxInt []int
 
-	// schedMu guards schedules, the per-penalty-fingerprint cache of
-	// retrieval schedules (schedule.go).
+	// bindOnce guards bindPos, the lazily-built (query, key) → flat
+	// coefficient position index that lets Bind re-weight same-shape batches
+	// against this plan's CSR skeleton (template.go).
+	bindOnce sync.Once
+	bindPos  map[bindKey]int32
+
+	// schedMu guards schedules and schedLRU, the per-penalty-fingerprint
+	// cache of retrieval schedules and its recency list (schedule.go). The
+	// cache is bounded by maxCachedSchedules with LRU eviction, mirroring
+	// the plan registry's policy.
 	schedMu   sync.Mutex
 	schedules map[string]*scheduleSlot
+	schedLRU  *list.List
 }
 
 // NewPlan merges the per-query sparse coefficient vectors into a master

@@ -19,12 +19,18 @@ import (
 
 // coreMetrics is the package's metric bundle, built once per Observe.
 type coreMetrics struct {
-	planBuildSeconds *obs.Histogram
-	schedCacheHits   *obs.Counter
-	schedCacheMisses *obs.Counter
-	stepSeconds      *obs.Histogram
-	stepBatchSeconds *obs.Histogram
-	runsStarted      *obs.Counter
+	planBuildSeconds    *obs.Histogram
+	schedCacheHits      *obs.Counter
+	schedCacheMisses    *obs.Counter
+	schedCacheEvictions *obs.Counter
+	stepSeconds         *obs.Histogram
+	stepBatchSeconds    *obs.Histogram
+	runsStarted         *obs.Counter
+
+	planRegistryHits      *obs.Counter
+	planRegistryMisses    *obs.Counter
+	planRegistryEvictions *obs.Counter
+	templateBinds         *obs.Counter
 }
 
 var coMetrics atomic.Pointer[coreMetrics]
@@ -44,12 +50,22 @@ func Observe(reg *obs.Registry) {
 			"Retrieval-schedule lookups served from the per-plan cache."),
 		schedCacheMisses: reg.Counter("wvq_core_schedule_cache_misses_total",
 			"Retrieval-schedule lookups that had to build a schedule."),
+		schedCacheEvictions: reg.Counter("wvq_core_schedule_cache_evictions_total",
+			"Retrieval schedules dropped by the per-plan cache's LRU bound."),
 		stepSeconds: reg.Histogram("wvq_core_step_seconds",
 			"Latency of single progressive steps (one retrieval applied).", nil),
 		stepBatchSeconds: reg.Histogram("wvq_core_stepbatch_seconds",
 			"Latency of batched progressive steps.", nil),
 		runsStarted: reg.Counter("wvq_core_runs_total",
 			"Progressive runs started (counted at the run's schedule lookup)."),
+		planRegistryHits: reg.Counter("wvq_core_plan_registry_hits_total",
+			"Prepare calls answered by a resident prepared plan."),
+		planRegistryMisses: reg.Counter("wvq_core_plan_registry_misses_total",
+			"Prepare calls that had to build (or template-bind) a plan."),
+		planRegistryEvictions: reg.Counter("wvq_core_plan_registry_evictions_total",
+			"Prepared plans dropped by the registry's LRU bound."),
+		templateBinds: reg.Counter("wvq_core_template_binds_total",
+			"Plan builds served by re-weighting a same-shape resident plan."),
 	})
 }
 

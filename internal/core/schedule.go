@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"sort"
 	"sync"
 
@@ -83,33 +84,68 @@ func buildSchedule(p *Plan, pen penalty.Penalty) *Schedule {
 // scheduleSlot is one cache cell: the sync.Once lets the build run outside
 // the plan's schedule mutex while still happening exactly once.
 type scheduleSlot struct {
+	key  string
+	elem *list.Element
 	once sync.Once
 	s    *Schedule
+}
+
+// maxCachedSchedules bounds the per-plan schedule cache. Long-lived servers
+// see arbitrarily many distinct penalty fingerprints (weighted penalties
+// keyed by client-supplied weights, say), and before this bound the cache
+// grew one schedule per fingerprint forever. Eviction is LRU, the same
+// policy as the plan registry; an evicted schedule that is still referenced
+// by in-flight runs stays valid (schedules are immutable) and is simply
+// rebuilt on the next request. Variable rather than const so tests can
+// shrink it in-package.
+var maxCachedSchedules = 64
+
+// scheduleSlotFor returns (creating if needed) the cache slot for a penalty
+// fingerprint, maintaining LRU recency and the cache bound. The boolean
+// reports whether the slot already existed. Eviction count is returned for
+// metric accounting outside the lock.
+func (p *Plan) scheduleSlotFor(key string) (slot *scheduleSlot, hit bool, evicted int) {
+	p.schedMu.Lock()
+	if p.schedules == nil {
+		p.schedules = make(map[string]*scheduleSlot)
+		p.schedLRU = list.New()
+	}
+	slot, hit = p.schedules[key]
+	if hit {
+		p.schedLRU.MoveToFront(slot.elem)
+	} else {
+		slot = &scheduleSlot{key: key}
+		slot.elem = p.schedLRU.PushFront(slot)
+		p.schedules[key] = slot
+		for len(p.schedules) > maxCachedSchedules {
+			back := p.schedLRU.Back()
+			old := back.Value.(*scheduleSlot)
+			delete(p.schedules, old.key)
+			p.schedLRU.Remove(back)
+			evicted++
+		}
+	}
+	p.schedMu.Unlock()
+	return slot, hit, evicted
 }
 
 // ScheduleFor returns the plan's retrieval schedule under the penalty,
 // building and caching it on first use. The cache is keyed by
 // penalty.Fingerprint, so distinct penalty values with the same importance
-// function share one schedule. Safe for concurrent use: many goroutines may
-// request schedules (same or different penalties) at once and each schedule
-// is built exactly once.
+// function share one schedule; it is bounded (maxCachedSchedules) with LRU
+// eviction. Safe for concurrent use: many goroutines may request schedules
+// (same or different penalties) at once and each resident schedule is built
+// exactly once.
 func (p *Plan) ScheduleFor(pen penalty.Penalty) *Schedule {
-	key := pen.Fingerprint()
-	p.schedMu.Lock()
-	if p.schedules == nil {
-		p.schedules = make(map[string]*scheduleSlot)
-	}
-	slot, ok := p.schedules[key]
-	if !ok {
-		slot = &scheduleSlot{}
-		p.schedules[key] = slot
-	}
-	p.schedMu.Unlock()
+	slot, ok, evicted := p.scheduleSlotFor(pen.Fingerprint())
 	if m := coObs(); m != nil {
 		if ok {
 			m.schedCacheHits.Inc()
 		} else {
 			m.schedCacheMisses.Inc()
+		}
+		if evicted > 0 {
+			m.schedCacheEvictions.Add(int64(evicted))
 		}
 		// Run accounting lives here rather than in NewRun: NewRun performs
 		// exactly one schedule lookup, and keeping it call-free preserves its
@@ -119,6 +155,14 @@ func (p *Plan) ScheduleFor(pen penalty.Penalty) *Schedule {
 	}
 	slot.once.Do(func() { slot.s = buildSchedule(p, pen) })
 	return slot.s
+}
+
+// warmSchedule builds and caches the schedule under pen without touching
+// run or cache metrics — the plan registry uses it to attach schedules to
+// prepared plans at build time, which is preparation, not a run.
+func (p *Plan) warmSchedule(pen penalty.Penalty) {
+	slot, _, _ := p.scheduleSlotFor(pen.Fingerprint())
+	slot.once.Do(func() { slot.s = buildSchedule(p, pen) })
 }
 
 // cachedSchedules reports how many distinct schedules the plan has built —

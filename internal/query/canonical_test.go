@@ -1,0 +1,192 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func canonSchema(t *testing.T, sizes []int) *dataset.Schema {
+	t.Helper()
+	names := make([]string, len(sizes))
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+	}
+	s, err := dataset.NewSchema(names, sizes)
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	return s
+}
+
+// randomBatch builds a batch of random COUNT/SUM/SUMSQ queries over random
+// ranges of the schema.
+func randomBatch(t *testing.T, rng *rand.Rand, schema *dataset.Schema, n int) Batch {
+	t.Helper()
+	b := make(Batch, n)
+	for i := range b {
+		lo := make([]int, schema.NumDims())
+		hi := make([]int, schema.NumDims())
+		for d, size := range schema.Sizes {
+			a, c := rng.Intn(size), rng.Intn(size)
+			if a > c {
+				a, c = c, a
+			}
+			lo[d], hi[d] = a, c
+		}
+		r := Range{Lo: lo, Hi: hi}
+		switch rng.Intn(3) {
+		case 0:
+			b[i] = Count(schema, r)
+		case 1:
+			q, err := Sum(schema, r, schema.Names[0])
+			if err != nil {
+				t.Fatalf("sum: %v", err)
+			}
+			b[i] = q
+		default:
+			q, err := SumSquares(schema, r, schema.Names[rng.Intn(schema.NumDims())])
+			if err != nil {
+				t.Fatalf("sumsq: %v", err)
+			}
+			b[i] = q
+		}
+	}
+	return b
+}
+
+// structuralKey renders the canonical batch content independently of the
+// hash, so collision tests can distinguish "same fingerprint, same content"
+// from a genuine collision.
+func structuralKey(b Batch) string {
+	canonical, _ := b.Canonical()
+	s := ""
+	for _, q := range canonical {
+		s += q.Range.String()
+		for _, t := range q.Terms {
+			s += fmt.Sprintf("|%x%v", t.Coeff, t.Powers)
+		}
+		s += ";"
+	}
+	return s
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	schema := canonSchema(t, []int{16, 16})
+	for trial := 0; trial < 200; trial++ {
+		b := randomBatch(t, rng, schema, 1+rng.Intn(12))
+		want := b.Fingerprint()
+		shuffled := append(Batch(nil), b...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		if got := shuffled.Fingerprint(); got != want {
+			t.Fatalf("trial %d: permuted batch fingerprint %s != %s", trial, got, want)
+		}
+		// The canonical sequences must agree query-for-query, not just hash.
+		ca, _ := b.Canonical()
+		cb, _ := shuffled.Canonical()
+		for i := range ca {
+			if compareQueries(ca[i], cb[i]) != 0 {
+				t.Fatalf("trial %d: canonical order differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFingerprintDuplicateRanges(t *testing.T) {
+	schema := canonSchema(t, []int{16, 16})
+	r := Range{Lo: []int{2, 3}, Hi: []int{9, 12}}
+	q1 := Count(schema, r)
+	q2 := Count(schema, r) // structurally identical duplicate
+	q3, err := Sum(schema, r, "a0")
+	if err != nil {
+		t.Fatalf("sum: %v", err)
+	}
+	a := Batch{q1, q2, q3}
+	b := Batch{q3, q1, q2}
+	c := Batch{q2, q3, q1}
+	if a.Fingerprint() != b.Fingerprint() || b.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("duplicate-range interleavings disagree: %s %s %s",
+			a.Fingerprint(), b.Fingerprint(), c.Fingerprint())
+	}
+	// Dropping a duplicate is a different batch: the fingerprint must move.
+	if (Batch{q1, q3}).Fingerprint() == a.Fingerprint() {
+		t.Fatalf("dropping a duplicate did not change the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresLabels(t *testing.T) {
+	schema := canonSchema(t, []int{8})
+	q := Count(schema, Range{Lo: []int{1}, Hi: []int{5}})
+	relabeled := *q
+	relabeled.Label = "something else entirely"
+	if (Batch{q}).Fingerprint() != (Batch{&relabeled}).Fingerprint() {
+		t.Fatalf("label changed the fingerprint")
+	}
+}
+
+func TestFingerprintDistinctBatchesDoNotCollide(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	schema := canonSchema(t, []int{32, 32})
+	seen := map[string]string{} // fingerprint -> structural key
+	for trial := 0; trial < 2000; trial++ {
+		b := randomBatch(t, rng, schema, 1+rng.Intn(8))
+		fp := b.Fingerprint()
+		key := structuralKey(b)
+		if prev, ok := seen[fp]; ok {
+			if prev != key {
+				t.Fatalf("collision: %s for both %q and %q", fp, prev, key)
+			}
+			continue
+		}
+		seen[fp] = key
+	}
+}
+
+func TestFingerprintDistinguishesSchemas(t *testing.T) {
+	a := canonSchema(t, []int{16})
+	b := canonSchema(t, []int{32})
+	r := Range{Lo: []int{0}, Hi: []int{15}}
+	if (Batch{Count(a, r)}).Fingerprint() == (Batch{Count(b, r)}).Fingerprint() {
+		t.Fatalf("same range over different domains fingerprinted equal")
+	}
+}
+
+func TestCanonicalPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	schema := canonSchema(t, []int{16, 16})
+	for trial := 0; trial < 100; trial++ {
+		b := randomBatch(t, rng, schema, 1+rng.Intn(10))
+		canonical, perm := b.Canonical()
+		if len(canonical) != len(b) || len(perm) != len(b) {
+			t.Fatalf("length mismatch")
+		}
+		hit := make([]bool, len(b))
+		for i := range b {
+			j := perm[i]
+			if canonical[j] != b[i] {
+				t.Fatalf("trial %d: canonical[perm[%d]] is not query %d", trial, i, i)
+			}
+			if hit[j] {
+				t.Fatalf("trial %d: perm is not a permutation", trial)
+			}
+			hit[j] = true
+		}
+		// Canonical order must be sorted under the structural comparator.
+		for i := 1; i < len(canonical); i++ {
+			if compareQueries(canonical[i-1], canonical[i]) > 0 {
+				t.Fatalf("trial %d: canonical order not sorted at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestFingerprintEmptyBatch(t *testing.T) {
+	if (Batch{}).Fingerprint() != "batch:empty" {
+		t.Fatalf("empty batch fingerprint changed")
+	}
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+)
+
+// Per-tenant prepared-plan quotas. Prepared plans are server-side state a
+// client can grow without bound (each POST /prepare pins a plan until
+// eviction), so admission control bounds how many registrations a tenant may
+// hold concurrently — the same defensive posture the run table and waiting
+// queue take toward in-flight work. Quota is charged when a tenant registers
+// a new plan and released when the plan is evicted, removed, or the
+// registration fails.
+
+// ErrQuotaExceeded is returned by Quotas.Acquire when the tenant is at its
+// limit. Callers should surface it as an overload-class rejection (HTTP 429):
+// the client can retry after releasing handles or waiting for eviction.
+var ErrQuotaExceeded = errors.New("sched: prepared-plan quota exceeded for tenant")
+
+// Quotas tracks per-tenant counts against one shared limit. Safe for
+// concurrent use. The zero limit (or negative) disables enforcement —
+// Acquire always succeeds and nothing is tracked.
+type Quotas struct {
+	max    int
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewQuotas creates a tracker allowing up to maxPerTenant concurrent
+// holdings per tenant (≤0 disables enforcement).
+func NewQuotas(maxPerTenant int) *Quotas {
+	return &Quotas{max: maxPerTenant, counts: make(map[string]int)}
+}
+
+// Limit returns the per-tenant bound (0 = unlimited).
+func (q *Quotas) Limit() int {
+	if q.max <= 0 {
+		return 0
+	}
+	return q.max
+}
+
+// Acquire charges one holding to the tenant, or returns ErrQuotaExceeded if
+// the tenant is at the limit. The empty tenant is never charged: anonymous
+// inline registrations are bounded by the registry's LRU capacity instead.
+func (q *Quotas) Acquire(tenant string) error {
+	if q.max <= 0 || tenant == "" {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.counts[tenant] >= q.max {
+		return ErrQuotaExceeded
+	}
+	q.counts[tenant]++
+	return nil
+}
+
+// Release returns one holding. Releasing an untracked tenant (or below
+// zero) is a no-op, which makes eviction-driven releases safe to over-call.
+func (q *Quotas) Release(tenant string) {
+	if q.max <= 0 || tenant == "" {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if n := q.counts[tenant]; n > 1 {
+		q.counts[tenant] = n - 1
+	} else if n == 1 {
+		delete(q.counts, tenant)
+	}
+}
+
+// Count returns the tenant's current holdings.
+func (q *Quotas) Count(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.counts[tenant]
+}
+
+// Tenants returns the number of tenants currently holding quota.
+func (q *Quotas) Tenants() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.counts)
+}

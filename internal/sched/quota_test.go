@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestQuotasAcquireRelease(t *testing.T) {
+	q := NewQuotas(2)
+	if err := q.Acquire("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Acquire("a"); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("third acquire: got %v", err)
+	}
+	// Other tenants are independent.
+	if err := q.Acquire("b"); err != nil {
+		t.Fatalf("tenant b blocked by tenant a: %v", err)
+	}
+	q.Release("a")
+	if err := q.Acquire("a"); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if q.Count("a") != 2 || q.Count("b") != 1 {
+		t.Fatalf("counts a=%d b=%d", q.Count("a"), q.Count("b"))
+	}
+}
+
+func TestQuotasReleaseClampsAtZero(t *testing.T) {
+	q := NewQuotas(1)
+	q.Release("ghost") // never acquired: no-op
+	if q.Count("ghost") != 0 {
+		t.Fatalf("release created a negative holding")
+	}
+	if err := q.Acquire("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	q.Release("ghost")
+	q.Release("ghost") // over-release: still clamped
+	if q.Count("ghost") != 0 || q.Tenants() != 0 {
+		t.Fatalf("over-release corrupted the ledger")
+	}
+}
+
+func TestQuotasUnlimitedAndAnonymous(t *testing.T) {
+	q := NewQuotas(0) // disabled
+	for i := 0; i < 100; i++ {
+		if err := q.Acquire("t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bounded := NewQuotas(1)
+	// The anonymous tenant is never charged (inline batches).
+	if err := bounded.Acquire(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := bounded.Acquire(""); err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Tenants() != 0 {
+		t.Fatalf("anonymous acquisitions were tracked")
+	}
+}
+
+func TestQuotasConcurrent(t *testing.T) {
+	q := NewQuotas(50)
+	var wg sync.WaitGroup
+	acquired := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if q.Acquire("shared") == nil {
+					acquired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range acquired {
+		total += n
+	}
+	if total != 50 || q.Count("shared") != 50 {
+		t.Fatalf("acquired %d (count %d), want exactly the limit 50", total, q.Count("shared"))
+	}
+}
+
+func TestSchedulerCarriesQuotas(t *testing.T) {
+	s := New(Config{Workers: 1, MaxPreparedPerTenant: 3})
+	defer s.Close()
+	q := s.PlanQuotas()
+	if q == nil || q.Limit() != 3 {
+		t.Fatalf("scheduler quotas not wired: %v", q)
+	}
+	// Default applies when unset.
+	d := New(Config{Workers: 1})
+	defer d.Close()
+	if d.PlanQuotas().Limit() != 32 {
+		t.Fatalf("default quota limit %d, want 32", d.PlanQuotas().Limit())
+	}
+	// Negative disables.
+	u := New(Config{Workers: 1, MaxPreparedPerTenant: -1})
+	defer u.Close()
+	if u.PlanQuotas().Limit() != 0 {
+		t.Fatalf("negative limit should disable enforcement")
+	}
+}

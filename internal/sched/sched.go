@@ -87,6 +87,10 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to overload rejections.
 	// Default 1s.
 	RetryAfter time.Duration
+	// MaxPreparedPerTenant bounds how many prepared plans one tenant may
+	// hold concurrently (see Quotas). Default 32; negative disables
+	// enforcement.
+	MaxPreparedPerTenant int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.MaxPreparedPerTenant == 0 {
+		c.MaxPreparedPerTenant = 32
 	}
 	return c
 }
@@ -284,12 +291,17 @@ type Scheduler struct {
 	submitted, rejected, completed, cancelled int64
 	slices, stepped                           int64
 
+	// quotas is the prepared-plan admission ledger (quota.go); the HTTP
+	// layer charges it on /prepare and releases on eviction.
+	quotas *Quotas
+
 	wg sync.WaitGroup
 }
 
 // New starts a scheduler with cfg's workers running.
 func New(cfg Config) *Scheduler {
 	s := &Scheduler{cfg: cfg.withDefaults()}
+	s.quotas = NewQuotas(s.cfg.MaxPreparedPerTenant)
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -300,6 +312,9 @@ func New(cfg Config) *Scheduler {
 
 // Config returns the effective (defaulted) configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
+
+// PlanQuotas returns the scheduler's prepared-plan admission ledger.
+func (s *Scheduler) PlanQuotas() *Quotas { return s.quotas }
 
 // Submit admits a job into the run table, or parks it in the waiting queue
 // when the table is full. When both are full it returns ErrOverloaded

@@ -3,6 +3,7 @@ package server
 import (
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -21,13 +22,17 @@ import (
 
 // endpoints is the fixed label set for per-endpoint metrics; unknown paths
 // collapse into "other" so the metric cardinality is bounded.
-var endpoints = []string{"/healthz", "/stats", "/query", "/query/stream", "other"}
+var endpoints = []string{"/healthz", "/stats", "/query", "/query/stream", "/prepare", "other"}
 
-// endpointLabel maps a request path to its metric label.
+// endpointLabel maps a request path to its metric label. DELETE
+// /prepare/<handle> collapses into "/prepare" to keep cardinality bounded.
 func endpointLabel(path string) string {
 	switch path {
-	case "/healthz", "/stats", "/query", "/query/stream":
+	case "/healthz", "/stats", "/query", "/query/stream", "/prepare":
 		return path
+	}
+	if strings.HasPrefix(path, "/prepare/") {
+		return "/prepare"
 	}
 	return "other"
 }
@@ -39,6 +44,8 @@ type serverMetrics struct {
 	inFlight       *obs.Gauge
 	sseStreams     *obs.Gauge
 	degraded       *obs.Counter
+	preparedExec   *obs.Counter
+	adhocExec      *obs.Counter
 }
 
 // Observe installs the observer across the whole retrieval path: the
@@ -69,6 +76,10 @@ func (h *Handler) Observe(o *obs.Observer) {
 			"SSE progress streams currently open."),
 		degraded: reg.Counter("wvq_http_degraded_total",
 			"Responses served degraded (some retrievals failed permanently)."),
+		preparedExec: reg.Counter("wvq_http_prepared_executes_total",
+			"Query executions that resolved a prepare handle."),
+		adhocExec: reg.Counter("wvq_http_adhoc_executes_total",
+			"Query executions from inline statement batches."),
 	}
 	for _, ep := range endpoints {
 		m.requestSeconds[ep] = reg.Histogram("wvq_http_request_seconds",

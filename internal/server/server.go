@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro"
@@ -45,16 +46,42 @@ type Handler struct {
 	// handler serves uninstrumented, exactly as before.
 	obs *obs.Observer
 	met *serverMetrics
+	// registry is the database's prepared-plan tier. Every request resolves
+	// its plan here: POST /prepare registers a batch and returns a handle,
+	// /query with a handle executes without touching the planner, and inline
+	// batches hit the registry transparently (a repeated batch costs one
+	// canonicalization, not a plan build).
+	registry *repro.PlanRegistry
+	// quotas bounds per-tenant prepared registrations (scheduler admission
+	// control); released when a plan is evicted or removed.
+	quotas *sched.Quotas
+	// preparedExecs / adhocExecs count query executions by plan source.
+	preparedExecs, adhocExecs atomic.Int64
+}
+
+// Options configures the handler beyond scheduler sizing.
+type Options struct {
+	// Sched sizes the shared scheduler (zero value = defaults).
+	Sched sched.Config
+	// PlanCache bounds the prepared-plan registry; ≤0 selects
+	// repro.DefaultPlanCacheCapacity.
+	PlanCache int
 }
 
 // New wraps a database in an HTTP handler with default scheduler sizing.
 func New(db *repro.Database) *Handler { return NewWithConfig(db, sched.Config{}) }
 
-// NewWithConfig wraps a database with explicit scheduler sizing. The
+// NewWithConfig wraps a database with explicit scheduler sizing and default
+// prepared-plan capacity.
+func NewWithConfig(db *repro.Database, cfg sched.Config) *Handler {
+	return NewWithOptions(db, Options{Sched: cfg})
+}
+
+// NewWithOptions wraps a database with full handler configuration. The
 // database is made safe for concurrent retrieval (EnsureConcurrent) and
 // cross-run fetch coalescing is enabled, so requests execute in parallel
 // whatever store the view was built on.
-func NewWithConfig(db *repro.Database, cfg sched.Config) *Handler {
+func NewWithOptions(db *repro.Database, opts Options) *Handler {
 	db.EnsureConcurrent()
 	if err := db.EnableCoalescing(); err != nil {
 		// Unreachable after EnsureConcurrent; fail loudly if it ever isn't.
@@ -66,7 +93,11 @@ func NewWithConfig(db *repro.Database, cfg sched.Config) *Handler {
 	if err != nil {
 		mass = 0
 	}
-	return &Handler{db: db, sched: sched.New(cfg), mass: mass}
+	h := &Handler{db: db, sched: sched.New(opts.Sched), mass: mass}
+	h.registry = db.EnablePreparedPlans(opts.PlanCache)
+	h.quotas = h.sched.PlanQuotas()
+	h.registry.OnEvict(func(_, tenant string) { h.quotas.Release(tenant) })
+	return h
 }
 
 // Close drains the scheduler: pending runs are cancelled and workers
@@ -77,6 +108,10 @@ func (h *Handler) Close() { h.sched.Close() }
 type QueryRequest struct {
 	// Statements is a ';'-separated batch in the textual query language.
 	Statements string `json:"statements"`
+	// Handle executes a plan prepared via POST /prepare instead of an inline
+	// statement list. Exactly one of Handle and Statements may be set; results
+	// come back in the prepared batch's canonical query order.
+	Handle string `json:"handle,omitempty"`
 	// Budget limits retrievals; 0 or ≥ the master list means exact.
 	Budget int `json:"budget,omitempty"`
 	// Priority weights the batch's scheduler quantum: "low", "normal"
@@ -131,6 +166,20 @@ type StatsResponse struct {
 	Scheduler sched.Stats `json:"scheduler"`
 	// Coalescing reports cross-run I/O sharing.
 	Coalescing repro.CoalesceStats `json:"coalescing"`
+	// Prepared reports the prepared-plan registry and the execute-path mix.
+	Prepared PreparedStats `json:"prepared"`
+}
+
+// PreparedStats is the /stats view of the prepared-plan tier.
+type PreparedStats struct {
+	repro.PlanRegistryStats
+	// PreparedExecutes counts query executions that resolved a prepare handle.
+	PreparedExecutes int64 `json:"prepared_executes"`
+	// AdhocExecutes counts inline-batch executions (which still hit the
+	// registry transparently — see Hits/Misses for the cache outcome).
+	AdhocExecutes int64 `json:"adhoc_executes"`
+	// Tenants counts tenants currently holding prepared-plan quota.
+	Tenants int `json:"tenants"`
 }
 
 // ServeHTTP implements http.Handler, routing /query, /query/stream, /stats
@@ -156,6 +205,10 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.query(w, r)
 	case r.URL.Path == "/query/stream" && r.Method == http.MethodPost:
 		h.stream(w, r)
+	case r.URL.Path == "/prepare" && r.Method == http.MethodPost:
+		h.prepare(w, r)
+	case strings.HasPrefix(r.URL.Path, "/prepare/") && r.Method == http.MethodDelete:
+		h.unprepare(w, r)
 	default:
 		http.Error(w, "not found", http.StatusNotFound)
 	}
@@ -197,6 +250,12 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		resp.Scheduler = h.sched.Stats()
 		resp.Coalescing = co
 	}
+	resp.Prepared = PreparedStats{
+		PlanRegistryStats: h.registry.Stats(),
+		PreparedExecutes:  h.preparedExecs.Load(),
+		AdhocExecutes:     h.adhocExecs.Load(),
+		Tenants:           h.quotas.Tenants(),
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -207,6 +266,10 @@ type submission struct {
 	plan   *repro.Plan
 	ticket *sched.Ticket
 	cancel context.CancelFunc
+	// perm maps caller query position i to the plan's result slot (nil means
+	// identity). Inline batches execute on the registry's canonical-order
+	// plan, so their results must be mapped back to statement order.
+	perm []int
 	// trace is the run's bound-trajectory trace (nil when unobserved); the
 	// endpoint finishes it with the final snapshot once the ticket resolves.
 	trace *obs.RunTrace
@@ -249,25 +312,63 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		http.Error(w, "bad request: priority must be low, normal or high", http.StatusBadRequest)
 		return nil
 	}
-	if n := strings.Count(req.Statements, ";") + 1; n > maxStatements {
-		http.Error(w, fmt.Sprintf("bad request: %d statements exceeds the limit of %d", n, maxStatements),
-			http.StatusBadRequest)
+	if req.Handle != "" && req.Statements != "" {
+		http.Error(w, "bad request: handle and statements are mutually exclusive", http.StatusBadRequest)
 		return nil
 	}
-	batch, err := repro.ParseBatch(h.db.Schema(), req.Statements)
-	if err != nil {
-		http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
-		return nil
-	}
-	if len(batch) > maxStatements {
-		http.Error(w, fmt.Sprintf("bad request: %d queries exceeds the limit of %d", len(batch), maxStatements),
-			http.StatusBadRequest)
-		return nil
-	}
-	plan, err := h.db.Plan(batch)
-	if err != nil {
-		http.Error(w, "planning failed: "+err.Error(), http.StatusBadRequest)
-		return nil
+	var (
+		batch repro.Batch
+		plan  *repro.Plan
+		perm  []int
+	)
+	if req.Handle != "" {
+		// Prepared execute: the plan (and its warmed schedule) is resident —
+		// no parsing, no planning, no allocation on this path.
+		prep, ok := h.registry.Lookup(req.Handle)
+		if !ok {
+			http.Error(w, "unknown prepare handle: "+req.Handle, http.StatusNotFound)
+			return nil
+		}
+		batch, plan = prep.Batch, prep.Plan
+		h.preparedExecs.Add(1)
+		if h.met != nil {
+			h.met.preparedExec.Inc()
+		}
+	} else {
+		if n := strings.Count(req.Statements, ";") + 1; n > maxStatements {
+			http.Error(w, fmt.Sprintf("bad request: %d statements exceeds the limit of %d", n, maxStatements),
+				http.StatusBadRequest)
+			return nil
+		}
+		parsed, err := repro.ParseBatch(h.db.Schema(), req.Statements)
+		if err != nil {
+			http.Error(w, "bad query: "+err.Error(), http.StatusBadRequest)
+			return nil
+		}
+		batch = parsed
+		if len(batch) > maxStatements {
+			http.Error(w, fmt.Sprintf("bad request: %d queries exceeds the limit of %d", len(batch), maxStatements),
+				http.StatusBadRequest)
+			return nil
+		}
+		// Inline batches resolve through the registry too: a repeated batch
+		// (in any query order) reuses the resident plan, paying only the
+		// canonicalization. The permutation maps canonical result slots back
+		// to statement order.
+		pp, _, err := h.db.Prepare(batch)
+		if err != nil {
+			http.Error(w, "planning failed: "+err.Error(), http.StatusBadRequest)
+			return nil
+		}
+		plan = pp.Plan()
+		perm = make([]int, len(batch))
+		for i := range batch {
+			perm[i] = pp.CanonicalIndex(i)
+		}
+		h.adhocExecs.Add(1)
+		if h.met != nil {
+			h.met.adhocExec.Inc()
+		}
 	}
 	budget := req.Budget
 	if budget >= plan.DistinctCoefficients() {
@@ -289,7 +390,11 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		if id == "" {
 			id = obs.NewRequestID()
 		}
-		trace = h.obs.Runs.Start(id, req.Statements)
+		stmts := req.Statements
+		if req.Handle != "" {
+			stmts = "handle:" + req.Handle
+		}
+		trace = h.obs.Runs.Start(id, stmts)
 		run.AttachTrace(trace, h.mass)
 	}
 	ticket, err := h.sched.Submit(ctx, sched.Job{
@@ -309,7 +414,7 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		}
 		return nil
 	}
-	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace}
+	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace, perm: perm}
 }
 
 // response renders a progress snapshot in the /query wire shape.
@@ -324,9 +429,13 @@ func (sub *submission) response(p sched.Progress, timedOut bool) QueryResponse {
 		Results:   make([]QueryResult, len(sub.batch)),
 	}
 	for i, q := range sub.batch {
-		res := QueryResult{Query: q.Label, Estimate: p.Estimates[i]}
+		slot := i
+		if sub.perm != nil {
+			slot = sub.perm[i]
+		}
+		res := QueryResult{Query: q.Label, Estimate: p.Estimates[slot]}
 		if !resp.Exact && p.Bounds != nil {
-			b := p.Bounds[i]
+			b := p.Bounds[slot]
 			res.Bound = &b
 		}
 		resp.Results[i] = res

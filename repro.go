@@ -30,6 +30,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -48,6 +49,11 @@ type Database struct {
 	store   storage.Updatable
 	tuples  int64
 	windows [][2]float64
+
+	// prepared is the lazily-enabled prepared-plan registry (prepared.go);
+	// preparedMu makes EnablePreparedPlans idempotent under concurrency.
+	preparedMu sync.Mutex
+	prepared   *PlanRegistry
 }
 
 // StoreKind selects the physical organization of the coefficient store.
