@@ -7,11 +7,12 @@
 # `make bench-robust` runs the fallible-path overhead benches behind
 # BENCH_robust.json; `make bench-obs` runs the observability overhead
 # benches behind BENCH_obs.json; `make bench-load` replays the wvqbench
-# prepared-vs-ad-hoc load workload behind BENCH_load.json.
+# prepared-vs-ad-hoc load workload behind BENCH_load.json; `make bench-dist`
+# runs the shard-coordinator fan-out benches behind BENCH_dist.json.
 
 GO ?= go
 
-.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-all
+.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-all
 
 all: check
 
@@ -83,6 +84,14 @@ bench-obs:
 bench-load:
 	$(GO) test -run NONE -bench 'BenchmarkPlanRegistry' -benchmem -benchtime=100x ./internal/core/
 	$(GO) run ./cmd/wvqbench -out BENCH_load.json
+
+# Distributed-tier benchmarks behind BENCH_dist.json: progressive drain and
+# exact evaluation through the 4-shard loopback coordinator vs the same
+# work on the single-node store. Loopback on one host measures protocol +
+# fan-out overhead only (shards share the coordinator's CPUs); see the
+# honesty notes in BENCH_dist.json.
+bench-dist:
+	$(GO) test -run NONE -bench 'BenchmarkDist' -benchmem -benchtime=50x .
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

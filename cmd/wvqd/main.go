@@ -40,10 +40,12 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,12 +81,69 @@ func main() {
 		chaosDelayRate = flag.Float64("chaos-delay-rate", 0, "inject latency on this fraction of keys [0,1)")
 		chaosDelay     = flag.Duration("chaos-delay", 0, "latency injected on delayed retrievals")
 		chaosSeed      = flag.Uint64("chaos-seed", 1, "seed of the deterministic chaos schedule")
+
+		// Distributed tier: -shard-listen turns the daemon into a coefficient
+		// shard server (no HTTP); -shards turns it into a coordinator serving
+		// HTTP against remote shards instead of a local database file.
+		shardListen      = flag.String("shard-listen", "", "serve shard -shard-index of -shard-count over TCP on this address instead of HTTP")
+		shardIndex       = flag.Int("shard-index", 0, "this shard's index in [0,-shard-count) (with -shard-listen)")
+		shardCount       = flag.Int("shard-count", 0, "total shards in the deployment, a power of two (with -shard-listen)")
+		shardAddrs       = flag.String("shards", "", "comma-separated shard addresses to coordinate over (shard i must be the i-th address)")
+		shardDialTimeout = flag.Duration("shard-dial-timeout", 0, "per-shard connect timeout (0 = default 2s)")
+		shardTimeout     = flag.Duration("shard-timeout", 0, "per-shard request deadline (0 = default 5s)")
+		shardPool        = flag.Int("shard-pool", 0, "idle connections kept per shard (0 = default 4)")
 	)
 	flag.Parse()
 	log, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wvqd:", err)
 		os.Exit(1)
+	}
+	// Distributed-mode flag validation: misconfiguration is an explicit
+	// startup error, never a silently ignored flag — a shard set and a
+	// coordinator that disagree about the partition would route keys to the
+	// wrong nodes.
+	if *shardListen != "" && *shardAddrs != "" {
+		fmt.Fprintln(os.Stderr, "wvqd: -shard-listen (shard server) and -shards (coordinator) are mutually exclusive")
+		os.Exit(1)
+	}
+	if *shardListen == "" && (*shardIndex != 0 || *shardCount != 0) {
+		fmt.Fprintln(os.Stderr, "wvqd: -shard-index/-shard-count only apply with -shard-listen")
+		os.Exit(1)
+	}
+	if *shardAddrs == "" && (*shardDialTimeout != 0 || *shardTimeout != 0 || *shardPool != 0) {
+		fmt.Fprintln(os.Stderr, "wvqd: -shard-dial-timeout/-shard-timeout/-shard-pool only apply with -shards")
+		os.Exit(1)
+	}
+	if *shardListen != "" {
+		if err := repro.ValidShardCount(*shardCount); err != nil {
+			fmt.Fprintln(os.Stderr, "wvqd: -shard-count:", err)
+			os.Exit(1)
+		}
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fmt.Fprintf(os.Stderr, "wvqd: -shard-index %d out of range [0,%d)\n", *shardIndex, *shardCount)
+			os.Exit(1)
+		}
+		if err := runShard(*dbPath, *shardListen, *shardIndex, *shardCount, log); err != nil {
+			log.Error("exiting", "error", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var shards []string
+	if *shardAddrs != "" {
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				fmt.Fprintln(os.Stderr, "wvqd: -shards contains an empty address")
+				os.Exit(1)
+			}
+			shards = append(shards, a)
+		}
+		if err := repro.ValidShardCount(len(shards)); err != nil {
+			fmt.Fprintln(os.Stderr, "wvqd: -shards:", err)
+			os.Exit(1)
+		}
 	}
 	opts := server.Options{
 		Sched: sched.Config{
@@ -110,7 +169,15 @@ func main() {
 			Seed:       *chaosSeed,
 		},
 	}
-	if err := run(*dbPath, *addr, *pprofAddr, opts, robust, *drainTimeout, log); err != nil {
+	dist := distConfig{
+		shards: shards,
+		opts: repro.DistOptions{
+			DialTimeout:    *shardDialTimeout,
+			RequestTimeout: *shardTimeout,
+			PoolSize:       *shardPool,
+		},
+	}
+	if err := run(*dbPath, *addr, *pprofAddr, opts, robust, dist, *drainTimeout, log); err != nil {
 		log.Error("exiting", "error", err)
 		os.Exit(1)
 	}
@@ -142,16 +209,34 @@ func (r robustConfig) chaosEnabled() bool {
 		r.chaos.DelayRate > 0 || r.chaos.DelayEvery > 0
 }
 
-func run(dbPath, addr, pprofAddr string, opts server.Options, robust robustConfig, drainTimeout time.Duration, log *slog.Logger) error {
-	f, err := os.Open(dbPath)
-	if err != nil {
-		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
+// distConfig selects coordinator mode: a non-empty shard list replaces the
+// local database file with a fan-out over remote shard servers.
+type distConfig struct {
+	shards []string
+	opts   repro.DistOptions
+}
+
+func run(dbPath, addr, pprofAddr string, opts server.Options, robust robustConfig, dist distConfig, drainTimeout time.Duration, log *slog.Logger) error {
+	var db *repro.Database
+	if len(dist.shards) > 0 {
+		var err error
+		db, err = repro.OpenDistributed(dist.shards, dist.opts)
+		if err != nil {
+			return err
+		}
+		log.Info("coordinating over shards", "shards", fmt.Sprint(dist.shards))
+	} else {
+		f, err := os.Open(dbPath)
+		if err != nil {
+			return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
+		}
+		db, err = repro.LoadDatabase(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
 	}
-	db, err := repro.LoadDatabase(f)
-	_ = f.Close()
-	if err != nil {
-		return err
-	}
+	defer func() { _ = db.Close() }()
 	if robust.chaosEnabled() {
 		db.InjectFaults(robust.chaos) // daemon-lifetime: restore fn not needed
 		log.Info("chaos injection on",
@@ -219,13 +304,59 @@ func run(dbPath, addr, pprofAddr string, opts server.Options, robust robustConfi
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	err = srv.Shutdown(shutdownCtx)
+	err := srv.Shutdown(shutdownCtx)
 	// Cancel whatever outlived the drain and stop the scheduler workers.
 	h.Close()
 	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
 		return serveErr
 	}
 	return err
+}
+
+// runShard serves one coefficient shard over TCP: the daemon's shard-server
+// mode. The database file is loaded, its partition for (index, count)
+// extracted, and everything else about the file is dropped; shutdown reuses
+// the daemon's signal path — stop accepting, sever connections, exit.
+func runShard(dbPath, listen string, index, count int, log *slog.Logger) error {
+	f, err := os.Open(dbPath)
+	if err != nil {
+		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
+	}
+	db, err := repro.LoadDatabase(f)
+	_ = f.Close()
+	if err != nil {
+		return err
+	}
+	ss, err := db.NewShardServer(index, count, log)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	log.Info("serving shard",
+		"db", dbPath,
+		"addr", ln.Addr().String(),
+		"shard", index,
+		"shards", count,
+		"coefficients", ss.Nonzero(),
+		"mass", ss.Mass(),
+		"filter", db.Filter().Name)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- ss.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err // bind/accept failure — never got to serving
+	case <-ctx.Done():
+	}
+	stop()
+	log.Info("shutting down shard server")
+	_ = ss.Close()
+	return <-errc
 }
 
 // newDebugServer builds the debug listener on an explicit mux: net/http/pprof

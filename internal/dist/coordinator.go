@@ -1,0 +1,304 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// shardState is one shard's health ledger, updated on every sub-batch.
+type shardState struct {
+	requests atomic.Int64 // sub-batches sent
+	keys     atomic.Int64 // keys routed to this shard
+	errors   atomic.Int64 // sub-batches that came back with any failure
+	degraded atomic.Int64 // keys that came back as per-key failures
+	lastSeen atomic.Int64 // unix nanos of the last successful response, 0 = never
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+// ShardHealth is a point-in-time snapshot of one shard's ledger, shaped for
+// the /stats endpoint.
+type ShardHealth struct {
+	Shard        int    `json:"shard"`
+	Addr         string `json:"addr"`
+	Requests     int64  `json:"requests"`
+	Keys         int64  `json:"keys"`
+	Errors       int64  `json:"errors"`
+	DegradedKeys int64  `json:"degraded_keys"`
+	LastSeenUnix int64  `json:"last_seen_unix,omitempty"`
+	LastError    string `json:"last_error,omitempty"`
+}
+
+// CoordinatorStore fans every retrieval out across N shard stores: each key
+// is routed with storage.ShardOf — the same packed-key hash ShardedStore
+// uses — the per-shard sub-batches run concurrently, and the answers land
+// back in the caller's positions. A shard failing (whole sub-batch or
+// individual keys) degrades rather than fails the batch: its keys come back
+// as per-key entries of a *storage.BatchError, which the engine's skip
+// machinery turns into Theorem-1-bounded skipped coefficients. Only the
+// caller's own cancellation fails the whole batch.
+//
+// The shard stores are plain storage.FallibleStore values, so tests can
+// coordinate over in-process FaultStores and production coordinates over
+// RemoteStores; either way wrappers (RetryStore, CoalescingStore,
+// InstrumentedStore) stack per shard underneath or on top of the
+// coordinator unchanged.
+type CoordinatorStore struct {
+	shards []storage.FallibleStore
+	addrs  []string
+	health []shardState
+
+	retrievals atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over shards, whose count must be a
+// positive power of two (the ShardOf precondition). addrs are the
+// human-readable shard names for health reporting; nil derives "shard-i".
+func NewCoordinator(shards []storage.FallibleStore, addrs []string) (*CoordinatorStore, error) {
+	if err := ValidShardCount(len(shards)); err != nil {
+		return nil, err
+	}
+	if addrs == nil {
+		addrs = make([]string, len(shards))
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("shard-%d", i)
+		}
+	}
+	if len(addrs) != len(shards) {
+		return nil, fmt.Errorf("dist: %d addrs for %d shards", len(addrs), len(shards))
+	}
+	return &CoordinatorStore{
+		shards: shards,
+		addrs:  addrs,
+		health: make([]shardState, len(shards)),
+	}, nil
+}
+
+// ShardCount returns the number of shards fanned out to.
+func (c *CoordinatorStore) ShardCount() int { return len(c.shards) }
+
+// Health snapshots every shard's ledger.
+func (c *CoordinatorStore) Health() []ShardHealth {
+	out := make([]ShardHealth, len(c.shards))
+	for i := range c.shards {
+		st := &c.health[i]
+		st.mu.Lock()
+		lastErr := st.lastErr
+		st.mu.Unlock()
+		out[i] = ShardHealth{
+			Shard:        i,
+			Addr:         c.addrs[i],
+			Requests:     st.requests.Load(),
+			Keys:         st.keys.Load(),
+			Errors:       st.errors.Load(),
+			DegradedKeys: st.degraded.Load(),
+			LastSeenUnix: st.lastSeen.Load() / int64(time.Second),
+			LastError:    lastErr,
+		}
+	}
+	return out
+}
+
+// noteOK records a successful sub-batch on shard i.
+func (c *CoordinatorStore) noteOK(i, keys int) {
+	st := &c.health[i]
+	st.requests.Add(1)
+	st.keys.Add(int64(keys))
+	st.lastSeen.Store(time.Now().UnixNano())
+	obsShardBatch(i, keys, false)
+}
+
+// noteErr records a failed (fully or partially) sub-batch on shard i;
+// degraded counts the keys that failed.
+func (c *CoordinatorStore) noteErr(i, keys, degraded int, err error) {
+	st := &c.health[i]
+	st.requests.Add(1)
+	st.keys.Add(int64(keys))
+	st.errors.Add(1)
+	st.degraded.Add(int64(degraded))
+	st.mu.Lock()
+	st.lastErr = err.Error()
+	st.mu.Unlock()
+	obsShardBatch(i, keys, true)
+	obsDegradedKeys(degraded)
+}
+
+// BatchGetCtx implements storage.FallibleStore: partition by ShardOf, fan
+// out concurrently, merge. Shard failures become per-key *storage.
+// BatchError entries (ascending Index); only the caller's cancellation
+// fails the whole batch.
+func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
+	if len(keys) != len(dst) {
+		panic("dist: BatchGetCtx keys/dst length mismatch")
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	c.retrievals.Add(int64(len(keys)))
+	start := time.Now()
+
+	n := len(c.shards)
+	// Group the caller's positions by owning shard.
+	positions := make([][]int, n)
+	for i, k := range keys {
+		si := storage.ShardOf(k, n)
+		positions[si] = append(positions[si], i)
+	}
+
+	var wg sync.WaitGroup
+	// failed[si] holds shard si's contribution to the merged BatchError,
+	// already remapped to the caller's positions. Slot-per-shard: no lock.
+	failed := make([][]storage.KeyError, n)
+	for si := 0; si < n; si++ {
+		pos := positions[si]
+		if len(pos) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, pos []int) {
+			defer wg.Done()
+			subKeys := make([]int, len(pos))
+			subDst := make([]float64, len(pos))
+			for j, p := range pos {
+				subKeys[j] = keys[p]
+			}
+			err := c.shards[si].BatchGetCtx(ctx, subKeys, subDst)
+			for j, p := range pos {
+				dst[p] = subDst[j]
+			}
+			var be *storage.BatchError
+			switch {
+			case err == nil:
+				c.noteOK(si, len(pos))
+			case errors.As(err, &be):
+				// Partial failure: unlisted positions hold valid values;
+				// remap the listed ones to the caller's indices.
+				kes := make([]storage.KeyError, len(be.Failed))
+				for j, ke := range be.Failed {
+					kes[j] = storage.KeyError{Index: pos[ke.Index], Key: ke.Key, Err: ke.Err}
+				}
+				failed[si] = kes
+				c.noteErr(si, len(pos), len(kes), err)
+			default:
+				// Whole sub-batch untrusted (shard dead, hung, protocol
+				// violation): every key of this shard degrades.
+				kes := make([]storage.KeyError, len(pos))
+				for j, p := range pos {
+					kes[j] = storage.KeyError{Index: p, Key: subKeys[j], Err: err}
+					dst[p] = 0
+				}
+				failed[si] = kes
+				c.noteErr(si, len(pos), len(kes), err)
+			}
+		}(si, pos)
+	}
+	wg.Wait()
+	obsFanout(time.Since(start))
+
+	// The caller's own cancellation dominates: per the FallibleStore
+	// contract no position may be trusted then, and callers (retry, skip
+	// accounting) must see ctx.Err(), not a degraded-shard report.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var merged []storage.KeyError
+	for _, kes := range failed {
+		merged = append(merged, kes...)
+	}
+	if len(merged) == 0 {
+		return nil
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Index < merged[j].Index })
+	return &storage.BatchError{Failed: merged}
+}
+
+// GetCtx implements storage.FallibleStore, routing the single key to its
+// owning shard.
+func (c *CoordinatorStore) GetCtx(ctx context.Context, key int) (float64, error) {
+	c.retrievals.Add(1)
+	si := storage.ShardOf(key, len(c.shards))
+	v, err := c.shards[si].GetCtx(ctx, key)
+	if err == nil {
+		c.noteOK(si, 1)
+		return v, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, cerr
+	}
+	c.noteErr(si, 1, 1, err)
+	return 0, err
+}
+
+// Get implements storage.Store. The infallible surface cannot report shard
+// failures and panics on one; the engine's degradable paths use GetCtx.
+func (c *CoordinatorStore) Get(key int) float64 {
+	v, err := c.GetCtx(context.Background(), key)
+	if err != nil {
+		panic(fmt.Sprintf("dist: infallible Get through coordinator failed: %v", err))
+	}
+	return v
+}
+
+// GetBatch implements storage.BatchGetter, panicking on failure (see Get).
+func (c *CoordinatorStore) GetBatch(keys []int, dst []float64) {
+	if err := c.BatchGetCtx(context.Background(), keys, dst); err != nil {
+		panic(fmt.Sprintf("dist: infallible GetBatch through coordinator failed: %v", err))
+	}
+}
+
+// Add implements storage.Updatable by refusing: the distributed view is
+// read-only — ingestion happens before partitioning, on the shard side.
+func (c *CoordinatorStore) Add(key int, delta float64) {
+	panic("dist: CoordinatorStore is read-only; load tuples before partitioning")
+}
+
+// Retrievals implements storage.Store, counting keys requested through the
+// coordinator.
+func (c *CoordinatorStore) Retrievals() int64 { return c.retrievals.Load() }
+
+// ResetStats implements storage.Store.
+func (c *CoordinatorStore) ResetStats() { c.retrievals.Store(0) }
+
+// NonzeroCount implements storage.Store as the sum over shards (each shard
+// owns a disjoint key slice). Unreachable shards report 0 — a diagnostic
+// surface, not a correctness one.
+func (c *CoordinatorStore) NonzeroCount() int {
+	total := 0
+	for _, sh := range c.shards {
+		total += sh.NonzeroCount()
+	}
+	return total
+}
+
+// ConcurrentSafe implements storage.Concurrent: fan-out state is per-call,
+// health is atomic, and the shard clients are concurrent-safe.
+func (c *CoordinatorStore) ConcurrentSafe() {}
+
+// Close closes every shard client that supports closing.
+func (c *CoordinatorStore) Close() error {
+	var first error
+	for _, sh := range c.shards {
+		if cl, ok := sh.(io.Closer); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+var (
+	_ storage.FallibleStore = (*CoordinatorStore)(nil)
+	_ storage.Updatable     = (*CoordinatorStore)(nil)
+	_ storage.BatchGetter   = (*CoordinatorStore)(nil)
+	_ storage.Concurrent    = (*CoordinatorStore)(nil)
+)

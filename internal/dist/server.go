@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"log/slog"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/storage"
+)
+
+// Server exposes one coefficient shard over plain TCP: it answers BatchGet
+// frames from the wrapped store's fallible path and Meta frames from its
+// static self-description. Requests on one connection are handled serially
+// (the client pool provides parallelism with one in-flight request per
+// connection); connections are independent goroutines, so the store must be
+// concurrent-safe or wrapped before being served.
+type Server struct {
+	store  storage.FallibleStore
+	meta   codec.ShardMeta
+	log    *slog.Logger // nil = silent
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// requests / errors count served frames, for shard-side diagnostics.
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// NewServer wraps store (lifted to its fallible surface) with the shard's
+// self-description. logger may be nil for silence (tests); pass a structured
+// logger in daemons.
+func NewServer(store storage.Store, meta codec.ShardMeta, logger *slog.Logger) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		store:  storage.AsFallible(store),
+		meta:   meta,
+		log:    logger,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Requests returns the number of request frames served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Serve accepts connections on ln until Close. It returns nil after Close;
+// any other accept failure is returned as-is.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("dist: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil // closed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, severs every connection, and waits for the per-
+// connection goroutines to exit. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// drop removes a finished connection.
+func (s *Server) drop(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	_ = conn.Close()
+	s.wg.Done()
+}
+
+// handle runs one connection: handshake, then a serial request loop until
+// the peer hangs up, a protocol violation occurs, or the server closes.
+func (s *Server) handle(conn net.Conn) {
+	defer s.drop(conn)
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	if err := codec.ReadHandshake(br); err != nil {
+		s.logWarn("handshake failed", "remote", conn.RemoteAddr().String(), "error", err)
+		return
+	}
+	if err := codec.WriteHandshake(bw); err != nil || bw.Flush() != nil {
+		return
+	}
+	for {
+		frame, err := codec.ReadFrame(br)
+		if err != nil {
+			// EOF and reset are the peer leaving; anything else is noise worth
+			// a log line. Either way the connection is done.
+			if s.ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				s.logDebug("connection closed", "remote", conn.RemoteAddr().String(), "error", err)
+			}
+			return
+		}
+		s.requests.Add(1)
+		if err := s.serveFrame(bw, frame); err != nil {
+			s.errors.Add(1)
+			s.logWarn("writing response failed", "remote", conn.RemoteAddr().String(), "error", err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveFrame answers one request frame on bw (unflushed).
+func (s *Server) serveFrame(bw *bufio.Writer, frame *codec.WireFrame) error {
+	switch frame.Type {
+	case codec.FrameBatchGetReq:
+		keys, err := frame.BatchGetReq()
+		if err != nil {
+			return codec.WriteErrorFrame(bw, frame.ID, "malformed batch: "+err.Error())
+		}
+		vals := make([]float64, len(keys))
+		err = s.store.BatchGetCtx(s.ctx, keys, vals)
+		var be *storage.BatchError
+		switch {
+		case err == nil:
+			return codec.WriteBatchGetResp(bw, frame.ID, vals, nil)
+		case errors.As(err, &be):
+			failed := make([]codec.WireError, len(be.Failed))
+			for i, ke := range be.Failed {
+				failed[i] = codec.WireError{Index: ke.Index, Msg: ke.Err.Error()}
+			}
+			return codec.WriteBatchGetResp(bw, frame.ID, vals, failed)
+		default:
+			// Whole-batch failure (cancellation, store outage): no position may
+			// be trusted, so the whole request fails.
+			return codec.WriteErrorFrame(bw, frame.ID, err.Error())
+		}
+	case codec.FrameMetaReq:
+		return codec.WriteMetaResp(bw, frame.ID, &s.meta)
+	default:
+		return codec.WriteErrorFrame(bw, frame.ID, "unknown frame type")
+	}
+}
+
+func (s *Server) logWarn(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Warn(msg, args...)
+	}
+}
+
+func (s *Server) logDebug(msg string, args ...any) {
+	if s.log != nil {
+		s.log.Debug(msg, args...)
+	}
+}

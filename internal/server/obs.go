@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -62,6 +63,7 @@ func (h *Handler) Observe(o *obs.Observer) {
 	storage.Observe(reg)
 	core.Observe(reg)
 	sched.Observe(reg)
+	dist.Observe(reg)
 	h.obs = o
 	if reg == nil {
 		h.met = nil

@@ -168,6 +168,21 @@ type StatsResponse struct {
 	Coalescing repro.CoalesceStats `json:"coalescing"`
 	// Prepared reports the prepared-plan registry and the execute-path mix.
 	Prepared PreparedStats `json:"prepared"`
+	// Dist reports the shard fan-out when the database is distributed
+	// (opened over remote shards); omitted for local databases.
+	Dist *DistStats `json:"dist,omitempty"`
+}
+
+// DistStats is the /stats view of the distributed tier: one health ledger
+// per shard, as tracked by the coordinator.
+type DistStats struct {
+	// Shards counts the shard servers fanned out to.
+	Shards int `json:"shards"`
+	// DegradedKeys totals the keys returned as per-key failures across all
+	// shards — each one became a skipped coefficient in some run.
+	DegradedKeys int64 `json:"degraded_keys"`
+	// Health is the per-shard ledger: requests, keys, errors, last-seen.
+	Health []repro.ShardHealth `json:"health"`
 }
 
 // PreparedStats is the /stats view of the prepared-plan tier.
@@ -255,6 +270,13 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		PreparedExecutes:  h.preparedExecs.Load(),
 		AdhocExecutes:     h.adhocExecs.Load(),
 		Tenants:           h.quotas.Tenants(),
+	}
+	if health, ok := h.db.ShardHealth(); ok {
+		ds := &DistStats{Shards: len(health), Health: health}
+		for _, sh := range health {
+			ds.DegradedKeys += sh.DegradedKeys
+		}
+		resp.Dist = ds
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -91,11 +91,31 @@ func NewShardedStoreFrom(src Store, shards int) (*ShardedStore, error) {
 	return s, nil
 }
 
-// shardOf hashes a key to its shard with a Fibonacci multiplicative hash, so
-// the structured key patterns of wavelet master lists (runs, strided levels)
-// still spread across shards.
+// shardPartitionMultiplier is the Fibonacci multiplicative-hash constant of
+// the shard partition function (⌊2⁶⁴/φ⌋, odd): multiplying by it and keeping
+// the top bits spreads the structured key patterns of wavelet master lists
+// (runs, strided levels) evenly across shards.
+const shardPartitionMultiplier = 0x9E3779B97F4A7C15
+
+// ShardOf is the packed-key → shard partition function: it returns the shard
+// index of key among n shards, where n must be a power of two (the function
+// panics otherwise — partitioners must agree exactly, so a silently rounded
+// count would be a correctness bug). It is the single placement rule of the
+// system: ShardedStore uses it for its lock shards and the distributed
+// coordinator (internal/dist) uses it to route batches to networked shard
+// servers, so a key's lock shard and its network shard are provably computed
+// the same way.
+func ShardOf(key, n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("storage: ShardOf shard count %d is not a power of two", n))
+	}
+	return int((uint64(key) * shardPartitionMultiplier) >> (64 - log2(uint64(n))))
+}
+
+// shardOf hashes a key to its shard — ShardOf with the store's precomputed
+// shift (the shard count is a power of two by construction).
 func (s *ShardedStore) shardOf(key int) uint64 {
-	return (uint64(key) * 0x9E3779B97F4A7C15) >> s.shift
+	return (uint64(key) * shardPartitionMultiplier) >> s.shift
 }
 
 // NumShards returns the shard count.

@@ -35,6 +35,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/query"
 	"repro/internal/storage"
 	"repro/internal/wavelet"
@@ -49,6 +50,13 @@ type Database struct {
 	store   storage.Updatable
 	tuples  int64
 	windows [][2]float64
+
+	// coord is non-nil for databases opened with OpenDistributed: the store
+	// is a shard fan-out coordinator, the view is read-only, and distMass
+	// carries the coefficient mass assembled from the shards' metadata
+	// (coordinators cannot enumerate remote coefficients).
+	coord    *dist.CoordinatorStore
+	distMass *float64
 
 	// prepared is the lazily-enabled prepared-plan registry (prepared.go);
 	// preparedMu makes EnablePreparedPlans idempotent under concurrency.
@@ -163,6 +171,9 @@ func (db *Database) Filter() *Filter { return db.filter }
 
 // Insert adds one tuple, updating O((L·log N)^d) stored coefficients.
 func (db *Database) Insert(coords []int) error {
+	if db.coord != nil {
+		return fmt.Errorf("repro: distributed database is read-only; insert on the shard side before partitioning")
+	}
 	if err := core.InsertTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
 		return err
 	}
@@ -173,6 +184,9 @@ func (db *Database) Insert(coords []int) error {
 // Delete removes one occurrence of a tuple. The caller is responsible for
 // the tuple actually being present.
 func (db *Database) Delete(coords []int) error {
+	if db.coord != nil {
+		return fmt.Errorf("repro: distributed database is read-only; delete on the shard side before partitioning")
+	}
 	if err := core.DeleteTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
 		return err
 	}
@@ -243,6 +257,13 @@ func (db *Database) NonzeroCoefficients() int { return db.store.NonzeroCount() }
 // store cannot enumerate its coefficients — previously this case silently
 // reported a mass of 0, which turns every worst-case bound into a useless 0.
 func (db *Database) CoefficientMass() (float64, error) {
+	// Distributed views cannot enumerate remote coefficients; the mass was
+	// assembled from the shards' metadata at open time (each shard sums its
+	// partition in ascending key order, the coordinator sums shard order),
+	// which is deterministic and equal to the single-node enumeration.
+	if db.distMass != nil {
+		return *db.distMass, nil
+	}
 	if !storage.IsEnumerable(db.store) {
 		return 0, fmt.Errorf("repro: store %T does not support enumeration; coefficient mass unknown", db.store)
 	}
