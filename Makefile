@@ -8,15 +8,18 @@
 # BENCH_robust.json; `make bench-obs` runs the observability overhead
 # benches behind BENCH_obs.json; `make bench-load` replays the wvqbench
 # prepared-vs-ad-hoc load workload behind BENCH_load.json; `make bench-dist`
-# runs the shard-coordinator fan-out benches behind BENCH_dist.json.
+# runs the shard-coordinator fan-out benches behind BENCH_dist.json;
+# `make bench-storage` runs the 10M-coefficient cold-drain benches behind
+# BENCH_storage.json. `make fuzz` gives the .wvls layout opener a short
+# adversarial shake (FuzzOpenLayout) and runs as part of `make check`.
 
 GO ?= go
 
-.PHONY: all check vet errlint obs-lint build test race cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-all
+.PHONY: all check vet errlint obs-lint build test race fuzz cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-storage bench-all
 
 all: check
 
-check: vet errlint obs-lint build test race
+check: vet errlint obs-lint build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +46,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short adversarial fuzz of the .wvls opener: mutated layout files must be
+# rejected with errors (or open and serve through the fallible surface),
+# never panic. The seed corpus alone runs in the normal tests; this gives
+# the mutator a fixed, CI-sized budget.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzOpenLayout -fuzztime 10s ./internal/storage/layout/
 
 cover:
 	$(GO) test -cover ./... | grep -v 'no test files'
@@ -92,6 +102,15 @@ bench-load:
 # honesty notes in BENCH_dist.json.
 bench-dist:
 	$(GO) test -run NONE -bench 'BenchmarkDist' -benchmem -benchtime=50x .
+
+# Schedule-aware storage benchmarks behind BENCH_storage.json: a cold
+# progressive drain over a 10M-coefficient .wvls layout (mmap and pread
+# paths) vs the same drain over the key-ordered FileStore, against a raw
+# sequential-read bandwidth ceiling. The fixture build takes ~30s; each
+# FileStore iteration drains 10M coefficients through positioned reads, so
+# the whole target runs a few minutes on one core.
+bench-storage:
+	$(GO) test -run NONE -bench 'BenchmarkStorage' -benchmem -benchtime=2x -timeout 30m ./internal/storage/layout/
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -58,6 +58,7 @@ import (
 func main() {
 	var (
 		dbPath       = flag.String("db", "temperature.wvdb", "database file to serve")
+		layoutPath   = flag.String("layout", "", "serve a schedule-aware .wvls layout file instead of -db (read-only; convert with wvlayout)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		maxActive    = flag.Int("max-active", 0, "concurrent runs in the scheduler table (0 = default 64)")
 		maxQueued    = flag.Int("max-queued", 0, "runs waiting behind the table before 429 (0 = default 256)")
@@ -105,6 +106,12 @@ func main() {
 	// wrong nodes.
 	if *shardListen != "" && *shardAddrs != "" {
 		fmt.Fprintln(os.Stderr, "wvqd: -shard-listen (shard server) and -shards (coordinator) are mutually exclusive")
+		os.Exit(1)
+	}
+	// A layout file is a complete local view: it cannot be partitioned into
+	// shards after the fact and a coordinator has no local store at all.
+	if *layoutPath != "" && (*shardListen != "" || *shardAddrs != "") {
+		fmt.Fprintln(os.Stderr, "wvqd: -layout is a local serving mode; it cannot be combined with -shard-listen or -shards")
 		os.Exit(1)
 	}
 	if *shardListen == "" && (*shardIndex != 0 || *shardCount != 0) {
@@ -177,7 +184,7 @@ func main() {
 			PoolSize:       *shardPool,
 		},
 	}
-	if err := run(*dbPath, *addr, *pprofAddr, opts, robust, dist, *drainTimeout, log); err != nil {
+	if err := run(*dbPath, *layoutPath, *addr, *pprofAddr, opts, robust, dist, *drainTimeout, log); err != nil {
 		log.Error("exiting", "error", err)
 		os.Exit(1)
 	}
@@ -216,16 +223,32 @@ type distConfig struct {
 	opts   repro.DistOptions
 }
 
-func run(dbPath, addr, pprofAddr string, opts server.Options, robust robustConfig, dist distConfig, drainTimeout time.Duration, log *slog.Logger) error {
+func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust robustConfig, dist distConfig, drainTimeout time.Duration, log *slog.Logger) error {
 	var db *repro.Database
-	if len(dist.shards) > 0 {
+	switch {
+	case len(dist.shards) > 0:
 		var err error
 		db, err = repro.OpenDistributed(dist.shards, dist.opts)
 		if err != nil {
 			return err
 		}
 		log.Info("coordinating over shards", "shards", fmt.Sprint(dist.shards))
-	} else {
+	case layoutPath != "":
+		var err error
+		db, err = repro.OpenLayout(layoutPath)
+		if err != nil {
+			return fmt.Errorf("opening layout (convert a database with wvlayout): %w", err)
+		}
+		dbPath = layoutPath
+		ls, _ := db.LayoutStats()
+		log.Info("serving from layout",
+			"layout", layoutPath,
+			"hot_slots", ls.HotSlots,
+			"blocks", ls.Blocks,
+			"block_size", ls.BlockSize,
+			"mmapped", ls.Mmapped,
+			"quantized", ls.Quantized)
+	default:
 		f, err := os.Open(dbPath)
 		if err != nil {
 			return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)

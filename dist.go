@@ -180,8 +180,8 @@ func OpenDistributed(addrs []string, opts DistOptions) (*Database, error) {
 		store:    coord,
 		tuples:   metas[0].TupleCount,
 		windows:  metas[0].Windows,
-		distMass: &mass,
-		coord:    coord,
+		cachedMass: &mass,
+		coord:      coord,
 	}, nil
 }
 
@@ -198,11 +198,15 @@ func (db *Database) ShardHealth() (health []ShardHealth, ok bool) {
 	return db.coord.Health(), true
 }
 
-// Close releases resources held by the store — for a distributed database,
-// the shard connections. Safe (and a no-op) for local databases.
+// Close releases resources held by the store — shard connections for a
+// distributed database, the file mapping and handle for a layout-backed
+// one. Safe (and a no-op) for ordinary in-memory databases.
 func (db *Database) Close() error {
 	if db.coord != nil {
 		return db.coord.Close()
+	}
+	if db.layout != nil {
+		return db.layout.Close()
 	}
 	return nil
 }

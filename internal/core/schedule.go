@@ -81,6 +81,15 @@ func buildSchedule(p *Plan, pen penalty.Penalty) *Schedule {
 	return s
 }
 
+// KeyOrder returns a copy of the schedule's storage keys in retrieval
+// order — keys[j] is retrieved at step j. It is the exported view consumed
+// by the persistent layout writer, which organizes coefficients on disk in
+// exactly this order so a progressive drain becomes a sequential scan. The
+// copy keeps the shared Schedule immutable.
+func (s *Schedule) KeyOrder() []int {
+	return append([]int(nil), s.keys...)
+}
+
 // scheduleSlot is one cache cell: the sync.Once lets the build run outside
 // the plan's schedule mutex while still happening exactly once.
 type scheduleSlot struct {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
+	"repro/internal/storage/layout"
 )
 
 // Observability for the HTTP server. Handler.Observe installs the observer
@@ -61,6 +62,7 @@ func (h *Handler) Observe(o *obs.Observer) {
 		reg = o.Registry
 	}
 	storage.Observe(reg)
+	layout.Observe(reg)
 	core.Observe(reg)
 	sched.Observe(reg)
 	dist.Observe(reg)

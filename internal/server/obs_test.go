@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
+	"repro/internal/storage/layout"
 )
 
 // observedHandler is testHandler with the full observer installed; the
@@ -160,6 +161,7 @@ func TestUnobservedHandlerUnchanged(t *testing.T) {
 	h, _, _ := testHandler(t)
 	// Ensure no leftover instrumentation from other tests.
 	storage.Observe(nil)
+	layout.Observe(nil)
 	core.Observe(nil)
 	sched.Observe(nil)
 	rec := postQuery(t, h, `{"statements": "COUNT() WHERE age <= 15"}`)

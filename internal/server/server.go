@@ -171,6 +171,9 @@ type StatsResponse struct {
 	// Dist reports the shard fan-out when the database is distributed
 	// (opened over remote shards); omitted for local databases.
 	Dist *DistStats `json:"dist,omitempty"`
+	// Layout reports the persistent layout store's serving tiers when the
+	// database is layout-backed (wvqd -layout); omitted otherwise.
+	Layout *repro.LayoutStats `json:"layout,omitempty"`
 }
 
 // DistStats is the /stats view of the distributed tier: one health ledger
@@ -277,6 +280,9 @@ func (h *Handler) stats(w http.ResponseWriter) {
 			ds.DegradedKeys += sh.DegradedKeys
 		}
 		resp.Dist = ds
+	}
+	if ls, ok := h.db.LayoutStats(); ok {
+		resp.Layout = &ls
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -182,14 +182,51 @@ func (s *CachedStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64
 	return nil
 }
 
-// fileStoreMaxGap is the largest key gap (in cells) GetBatch will read
-// through to keep one coalesced positioned read going: reading 8·gap wasted
-// bytes is cheaper than a second syscall.
-const fileStoreMaxGap = 64
+// Coalescing policy for FileStore batch reads. A run keeps absorbing the
+// next (sorted) key while all three caps hold; each cap bounds a different
+// resource the old gap-only rule left unbounded:
+const (
+	// fileStoreMaxGap is the largest key gap (in cells) a coalesced read
+	// will read through: reading 8·gap wasted bytes is cheaper than a
+	// second syscall.
+	fileStoreMaxGap = 64
+	// fileStoreMaxWasteCells caps the CUMULATIVE gap cells read through in
+	// one coalesced read (8 KiB of wasted bytes). Without it, a batch of
+	// stride-64 keys chains through the gap cap forever: every gap is
+	// individually acceptable, but the single read it builds is ~98% waste.
+	fileStoreMaxWasteCells = 1024
+	// fileStoreMaxSpanCells caps one read's total span (1 MiB): however
+	// dense the keys, an oversized span is split so the read buffer stays
+	// bounded and an I/O failure fails a bounded set of positions.
+	fileStoreMaxSpanCells = 128 << 10
+)
+
+// coalesce returns hi such that order[lo:hi] is the longest prefix run
+// satisfying the gap, waste and span caps. keys[order] is sorted ascending.
+func coalesce(keys []int, order []int, lo int) int {
+	hi := lo + 1
+	waste := 0
+	for hi < len(order) {
+		gap := keys[order[hi]] - keys[order[hi-1]] - 1 // cells read but not wanted
+		if gap < 0 {
+			gap = 0 // duplicate key
+		}
+		if gap+1 > fileStoreMaxGap ||
+			waste+gap > fileStoreMaxWasteCells ||
+			keys[order[hi]]-keys[order[lo]]+1 > fileStoreMaxSpanCells {
+			break
+		}
+		waste += gap
+		hi++
+	}
+	return hi
+}
 
 // GetBatch implements BatchGetter by sorting the requested keys and
 // coalescing consecutive (or near-consecutive) runs into single positioned
 // reads, cutting the syscall count from len(keys) to the number of runs.
+// Reads are bounded: per-read waste and span caps (see coalesce) keep the
+// bytes physically read within a constant factor of the bytes requested.
 func (s *FileStore) GetBatch(keys []int, dst []float64) {
 	s.retrievals += int64(len(keys))
 	order := make([]int, len(keys))
@@ -202,17 +239,17 @@ func (s *FileStore) GetBatch(keys []int, dst []float64) {
 	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
 	var buf []byte
 	for lo := 0; lo < len(order); {
-		hi := lo + 1
-		for hi < len(order) && keys[order[hi]]-keys[order[hi-1]] <= fileStoreMaxGap {
-			hi++
-		}
+		hi := coalesce(keys, order, lo)
 		first, last := keys[order[lo]], keys[order[hi-1]]
 		span := last - first + 1
 		if cap(buf) < span*8 {
 			buf = make([]byte, span*8)
 		}
 		b := buf[:span*8]
-		if _, err := s.f.ReadAt(b, s.offset(first)); err != nil {
+		n, err := s.f.ReadAt(b, s.offset(first))
+		s.reads++
+		s.bytesRead += int64(n)
+		if err != nil {
 			panic(batchReadError(first, last, err))
 		}
 		for _, i := range order[lo:hi] {
@@ -225,7 +262,12 @@ func (s *FileStore) GetBatch(keys []int, dst []float64) {
 // BatchGetCtx implements FallibleStore with the same run-coalescing as
 // GetBatch. An out-of-range key or a failed positioned read fails only the
 // positions it covers, reported via *BatchError, while the remaining runs
-// are still read; cancellation is observed between runs and returned whole.
+// are still read. A SHORT read (ReadAt returned fewer bytes than the span,
+// e.g. the file was truncated under us) is partial, not total: positions
+// whose cells were fully read before the cut are served, only the
+// uncovered tail of the run fails — honoring the BatchError contract that
+// unlisted positions hold valid values. Cancellation is observed between
+// runs and returned whole.
 func (s *FileStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
 	if len(keys) != len(dst) {
 		panic("storage: BatchGetCtx keys/dst length mismatch")
@@ -250,19 +292,24 @@ func (s *FileStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64) 
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		hi := lo + 1
-		for hi < len(order) && keys[order[hi]]-keys[order[hi-1]] <= fileStoreMaxGap {
-			hi++
-		}
+		hi := coalesce(keys, order, lo)
 		first, last := keys[order[lo]], keys[order[hi-1]]
 		span := last - first + 1
 		if cap(buf) < span*8 {
 			buf = make([]byte, span*8)
 		}
 		b := buf[:span*8]
-		if _, err := s.f.ReadAt(b, s.offset(first)); err != nil {
+		n, err := s.f.ReadAt(b, s.offset(first))
+		s.reads++
+		s.bytesRead += int64(n)
+		if err != nil {
+			covered := n / 8 // complete cells before the cut
 			for _, i := range order[lo:hi] {
-				failed = append(failed, KeyError{Index: i, Key: keys[i], Err: err})
+				if off := keys[i] - first; off < covered {
+					dst[i] = cellAt(b, off)
+				} else {
+					failed = append(failed, KeyError{Index: i, Key: keys[i], Err: err})
+				}
 			}
 			lo = hi
 			continue

@@ -21,6 +21,12 @@ type FileStore struct {
 	f          *os.File
 	n          int
 	retrievals int64
+	// Physical I/O accounting for the coalescing batch path: syscalls
+	// issued and bytes actually read (including gap bytes read through).
+	// The ratio bytesRead / (8·retrievals) is the read amplification the
+	// coalescing caps bound.
+	reads     int64
+	bytesRead int64
 }
 
 const (
@@ -158,8 +164,20 @@ func (s *FileStore) offset(key int) int64 {
 // Retrievals implements Store.
 func (s *FileStore) Retrievals() int64 { return s.retrievals }
 
-// ResetStats implements Store.
-func (s *FileStore) ResetStats() { s.retrievals = 0 }
+// ResetStats implements Store; it also zeroes the batch I/O counters.
+func (s *FileStore) ResetStats() {
+	s.retrievals = 0
+	s.reads = 0
+	s.bytesRead = 0
+}
+
+// IOStats reports the physical cost of the coalescing batch path since the
+// last ResetStats: positioned-read syscalls issued and bytes actually read
+// (requested cells plus the gap bytes read through). Tests pin the read
+// amplification — bytesRead over 8·retrievals — with these.
+func (s *FileStore) IOStats() (reads, bytesRead int64) {
+	return s.reads, s.bytesRead
+}
 
 // NonzeroCount implements Store with a sequential scan.
 func (s *FileStore) NonzeroCount() int {

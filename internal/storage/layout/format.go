@@ -1,0 +1,774 @@
+// Package layout implements schedule-aware persistent storage: the .wvls
+// on-disk format lays coefficients out physically ordered by a canonical
+// retrieval schedule, so a cold progressive drain — which asks for
+// coefficients in exactly that order — is sequential I/O instead of the
+// random positioned reads a key-ordered file serves it with. A prefix read
+// of the file warms exactly the coefficients Theorem 1 says matter most,
+// under any penalty whose schedule correlates with the layout family.
+//
+// File shape (all integers little-endian):
+//
+//	magic    "WVLS"                  4 bytes
+//	version  uint16                  currently 1
+//	flags    uint16                  bit 0: cold values quantized to float32
+//	hdrLen   uint32                  length of the header blob
+//	hdrCRC   uint32                  IEEE CRC-32 of the header blob
+//	header blob (hdrLen bytes):
+//	  cells, nonzero, hotCount uint64; blockSize uint32; mass float64
+//	  meta flag uint8, then the optional schema/filter metadata
+//	  family count uint16, then per family: label, fingerprint, hot coverage
+//	  section offsets: keys, slotOf, keyOfSlot, hot, blockDir, blocks, size
+//	data sections, at the offsets the header records:
+//	  keys      nonzero × uint64    all stored keys, ascending
+//	  slotOf    nonzero × uint32    slot of keys[i] (the key→slot permutation)
+//	  keyOfSlot nonzero × uint64    key stored at slot j (schedule order)
+//	  hot       hotCount × float64  raw values of slots [0,hotCount)
+//	  blockDir  numBlocks × {off uint64, len uint32, crc uint32}
+//	  blocks    delta-varint keys + slot→rank permutation + value words
+//
+// Slots are schedule positions: slot 0 is the most important coefficient.
+// The hot prefix is stored raw and served zero-copy from an mmap of the
+// file; the cold tail is grouped into blocks of blockSize slots, each block
+// holding its keys re-sorted ascending and delta-varint packed
+// ("Space-Efficient Data-Analysis Queries on Grids" is the grounding for
+// the compact packed representation), a fixed-width slot→rank permutation
+// tying slot order back to the key list, and values as raw float64 bits in
+// slot order — float32 when the lossy Quantize option was chosen at write
+// time — behind a per-block CRC-32 that turns silent corruption into
+// per-key retrieval errors the engine degrades over.
+package layout
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+)
+
+const (
+	magic   = "WVLS"
+	version = 1
+
+	// flagQuantized marks files whose cold-block values are float32: a lossy,
+	// explicitly-opted-into trade of bit-identity for half the cold bytes.
+	flagQuantized = 1 << 0
+
+	// preludeSize is the fixed region before the header blob.
+	preludeSize = 4 + 2 + 2 + 4 + 4
+
+	// DefaultBlockSize is the cold-block granularity: coefficients decoded
+	// (and cached) together per block fetch.
+	DefaultBlockSize = 4096
+
+	// maxBlockSize bounds BlockSize so in-block ranks fit the fixed-width
+	// uint16 permutation section.
+	maxBlockSize = 1 << 16
+
+	// maxDims mirrors codec's plausibility bound on schema dimensionality.
+	maxDims = 64
+)
+
+// Meta is the optional database identity carried by a layout file so
+// repro.OpenLayout can reassemble a servable view without the original
+// .wvdb. Files converted from a bare coefficient file (.wvfs) have none.
+type Meta struct {
+	FilterName string
+	TupleCount int64
+	Names      []string
+	Sizes      []int
+	Windows    [][2]float64 // nil or one per dimension
+}
+
+// Family records one penalty family the layout was bucketed against: its
+// fingerprint and how much of that family's schedule prefix the hot region
+// covers. Family 0 is the canonical family — the one the physical order
+// follows exactly.
+type Family struct {
+	// Label is a human-readable family name ("sse", "canonical", …).
+	Label string `json:"label"`
+	// Fingerprint is the penalty fingerprint (penalty.Fingerprint) whose
+	// schedule produced (or was measured against) the layout order.
+	Fingerprint string `json:"fingerprint"`
+	// HotCoverage is the fraction of the family's first min(hotCount, len)
+	// schedule keys that landed inside the hot region — 1.0 for the
+	// canonical family, lower for families the layout only approximates.
+	HotCoverage float64 `json:"hot_coverage"`
+}
+
+// FamilyOrder is a writer input: a penalty family's schedule key order.
+// The first family supplied becomes the physical layout prefix.
+type FamilyOrder struct {
+	Label       string
+	Fingerprint string
+	// Keys is the family's retrieval order (most important first). It need
+	// not mention every stored key; unmentioned keys follow in canonical
+	// |value|-descending order.
+	Keys []int
+}
+
+// WriteOptions configures Write.
+type WriteOptions struct {
+	// Cells is the domain size; every key must be in [0,Cells).
+	Cells int
+	// HotCount is the number of slots stored raw in the mmap-served hot
+	// region; 0 selects a default of nonzero/8 (min 1, capped at nonzero),
+	// negative means "everything hot" (no cold blocks).
+	HotCount int
+	// BlockSize is the cold-block granularity in slots; 0 selects
+	// DefaultBlockSize.
+	BlockSize int
+	// Quantize stores cold values as float32. Lossy: drains over a
+	// quantized layout are NOT bit-identical to the source store; the flag
+	// is recorded in the file and surfaced by Store.Quantized.
+	Quantize bool
+	// Meta optionally embeds the database identity (see Meta).
+	Meta *Meta
+	// Families optionally supplies penalty-family schedule orders. The
+	// first family's order becomes the physical layout prefix; every family
+	// is recorded with its measured hot coverage. With none supplied the
+	// layout order is canonical: |value| descending, key ascending.
+	Families []FamilyOrder
+}
+
+// blockRef is one block-directory entry.
+type blockRef struct {
+	off uint64
+	len uint32
+	crc uint32
+}
+
+// geometry is the decoded header: section offsets and counts.
+type geometry struct {
+	flags     uint16
+	cells     int
+	nonzero   int
+	hotCount  int
+	blockSize int
+	numBlocks int
+	mass      float64
+
+	keysOff      int64
+	slotOfOff    int64
+	keyOfSlotOff int64
+	hotOff       int64
+	blockDirOff  int64
+	blocksOff    int64
+	fileSize     int64
+}
+
+func (g *geometry) blocks() int {
+	cold := g.nonzero - g.hotCount
+	if cold <= 0 {
+		return 0
+	}
+	return (cold + g.blockSize - 1) / g.blockSize
+}
+
+// Write lays the nonzero coefficients (keys[i], values[i]) out at path in
+// schedule order and writes the complete .wvls file. Zero values are
+// dropped; duplicate keys are an error. The physical order is the first
+// supplied family's schedule order (keys it does not mention, and all keys
+// when no family is given, follow in canonical |value|-descending,
+// key-ascending order).
+func Write(path string, keys []int, values []float64, opts WriteOptions) (err error) {
+	if len(keys) != len(values) {
+		return fmt.Errorf("layout: %d keys for %d values", len(keys), len(values))
+	}
+	if opts.Cells <= 0 {
+		return fmt.Errorf("layout: domain size %d must be positive", opts.Cells)
+	}
+	if opts.Meta != nil {
+		if err := validateMeta(opts.Meta); err != nil {
+			return err
+		}
+	}
+	blockSize := opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxBlockSize {
+		return fmt.Errorf("layout: block size %d exceeds %d (the fixed-width rank limit)", blockSize, maxBlockSize)
+	}
+
+	// Drop zeros, validate range, check duplicates.
+	pairs := make([]kv, 0, len(keys))
+	for i, k := range keys {
+		if k < 0 || k >= opts.Cells {
+			return fmt.Errorf("layout: key %d out of range [0,%d)", k, opts.Cells)
+		}
+		if values[i] != 0 {
+			pairs = append(pairs, kv{k, values[i]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].k == pairs[i-1].k {
+			return fmt.Errorf("layout: duplicate key %d", pairs[i].k)
+		}
+	}
+	n := len(pairs)
+
+	hot := opts.HotCount
+	switch {
+	case hot < 0 || hot > n:
+		hot = n
+	case hot == 0:
+		hot = n / 8
+		if hot == 0 && n > 0 {
+			hot = n
+		}
+	}
+
+	// Canonical order: |value| descending, key ascending — "biggest first",
+	// the data-driven proxy for every penalty's importance ranking.
+	order := make([]int, n) // slot j ← index into pairs
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		va, vb := math.Abs(pairs[order[a]].v), math.Abs(pairs[order[b]].v)
+		if va != vb {
+			return va > vb
+		}
+		return pairs[order[a]].k < pairs[order[b]].k
+	})
+
+	// A supplied family order overrides the prefix: its keys (those stored)
+	// come first in its schedule order, the rest keep canonical order.
+	rankOf := func(k int) (int, bool) { // pairs index of key k
+		i := sort.Search(n, func(i int) bool { return pairs[i].k >= k })
+		if i < n && pairs[i].k == k {
+			return i, true
+		}
+		return 0, false
+	}
+	if len(opts.Families) > 0 {
+		lead := opts.Families[0]
+		taken := make([]bool, n)
+		reordered := make([]int, 0, n)
+		for _, k := range lead.Keys {
+			if i, ok := rankOf(k); ok && !taken[i] {
+				taken[i] = true
+				reordered = append(reordered, i)
+			}
+		}
+		for _, i := range order {
+			if !taken[i] {
+				reordered = append(reordered, i)
+			}
+		}
+		order = reordered
+	}
+
+	// slotOfPair[i] = slot of pairs[i]; hotSet for coverage measurement.
+	slotOfPair := make([]int32, n)
+	for j, i := range order {
+		slotOfPair[i] = int32(j)
+	}
+	var mass float64
+	for _, p := range pairs {
+		mass += math.Abs(p.v)
+	}
+
+	families := make([]Family, 0, len(opts.Families)+1)
+	if len(opts.Families) == 0 {
+		families = append(families, Family{Label: "canonical", Fingerprint: "canonical:|value|", HotCoverage: 1})
+	}
+	for fi, fo := range opts.Families {
+		fam := Family{Label: fo.Label, Fingerprint: fo.Fingerprint}
+		top := hot
+		if len(fo.Keys) < top {
+			top = len(fo.Keys)
+		}
+		if top == 0 {
+			if fi == 0 {
+				fam.HotCoverage = 1
+			}
+			families = append(families, fam)
+			continue
+		}
+		covered := 0
+		for _, k := range fo.Keys[:top] {
+			if i, ok := rankOf(k); ok && int(slotOfPair[i]) < hot {
+				covered++
+			}
+		}
+		fam.HotCoverage = float64(covered) / float64(top)
+		families = append(families, fam)
+	}
+
+	g := geometry{
+		cells:     opts.Cells,
+		nonzero:   n,
+		hotCount:  hot,
+		blockSize: blockSize,
+		mass:      mass,
+	}
+	if opts.Quantize {
+		g.flags |= flagQuantized
+	}
+	g.numBlocks = g.blocks()
+
+	// Encode cold blocks first: their lengths feed the section offsets.
+	valueAtSlot := func(j int) float64 { return pairs[order[j]].v }
+	keyAtSlot := func(j int) int { return pairs[order[j]].k }
+	blobs := make([][]byte, g.numBlocks)
+	refs := make([]blockRef, g.numBlocks)
+	var blocksLen int64
+	for b := 0; b < g.numBlocks; b++ {
+		lo := hot + b*blockSize
+		hi := lo + blockSize
+		if hi > n {
+			hi = n
+		}
+		blob := encodeBlock(pairs, order[lo:hi], opts.Quantize)
+		blobs[b] = blob
+		refs[b] = blockRef{
+			off: uint64(blocksLen),
+			len: uint32(len(blob)),
+			crc: crc32.ChecksumIEEE(blob),
+		}
+		blocksLen += int64(len(blob))
+	}
+
+	hdr := encodeHeaderBlob(&g, opts.Meta, families)
+	dataStart := int64(preludeSize + len(hdr))
+	g.keysOff = dataStart
+	g.slotOfOff = g.keysOff + int64(n)*8
+	g.keyOfSlotOff = g.slotOfOff + int64(n)*4
+	g.hotOff = g.keyOfSlotOff + int64(n)*8
+	g.blockDirOff = g.hotOff + int64(hot)*8
+	g.blocksOff = g.blockDirOff + int64(g.numBlocks)*16
+	g.fileSize = g.blocksOff + blocksLen
+	for b := range refs {
+		refs[b].off += uint64(g.blocksOff)
+	}
+	// Re-encode the header now that the offsets are known; the blob length
+	// is offset-independent, so dataStart is stable.
+	hdr = encodeHeaderBlob(&g, opts.Meta, families)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	var prelude [preludeSize]byte
+	copy(prelude[0:4], magic)
+	binary.LittleEndian.PutUint16(prelude[4:6], version)
+	binary.LittleEndian.PutUint16(prelude[6:8], g.flags)
+	binary.LittleEndian.PutUint32(prelude[8:12], uint32(len(hdr)))
+	binary.LittleEndian.PutUint32(prelude[12:16], crc32.ChecksumIEEE(hdr))
+	if _, err := w.Write(prelude[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	var word [8]byte
+	for _, p := range pairs { // keys, ascending
+		binary.LittleEndian.PutUint64(word[:], uint64(p.k))
+		if _, err := w.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	for i := range pairs { // slotOf, parallel to keys
+		binary.LittleEndian.PutUint32(word[:4], uint32(slotOfPair[i]))
+		if _, err := w.Write(word[:4]); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < n; j++ { // keyOfSlot
+		binary.LittleEndian.PutUint64(word[:], uint64(keyAtSlot(j)))
+		if _, err := w.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	for j := 0; j < hot; j++ { // hot values, slot order
+		binary.LittleEndian.PutUint64(word[:], math.Float64bits(valueAtSlot(j)))
+		if _, err := w.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	for _, r := range refs { // block directory
+		binary.LittleEndian.PutUint64(word[:], r.off)
+		if _, err := w.Write(word[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(word[:4], r.len)
+		binary.LittleEndian.PutUint32(word[4:8], r.crc)
+		if _, err := w.Write(word[:]); err != nil {
+			return err
+		}
+	}
+	for _, blob := range blobs {
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// kv is one stored coefficient.
+type kv struct {
+	k int
+	v float64
+}
+
+// encodeBlock packs one cold block:
+//
+//	count  uvarint
+//	keys   count × uvarint  deltas of the block's keys, ascending
+//	rank   count × uint16   slot→rank permutation: the block's q-th slot
+//	                        holds the rank[q]-th key in ascending order
+//	values count × word     raw value bits in SLOT order (float32 when
+//	                        quantized)
+//
+// Values in slot order plus a fixed-width permutation are what make the
+// cold drain cheap: a schedule-order run indexes the value window
+// directly (no per-key search, no decode loop at load), and the
+// permutation verifies each landed key against the delta-packed key list
+// without being walked at decode time.
+func encodeBlock(pairs []kv, slots []int, quantize bool) []byte {
+	// loc[p] = q: the block's q-th slot holds the p-th key in ascending
+	// order. Its inverse rank[q] = p is the stored permutation.
+	loc := make([]int, len(slots))
+	for q := range loc {
+		loc[q] = q
+	}
+	sort.Slice(loc, func(a, b int) bool { return pairs[slots[loc[a]]].k < pairs[slots[loc[b]]].k })
+	buf := make([]byte, 0, len(slots)*12)
+	var tmp [binary.MaxVarintLen64]byte
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(slots)))]...)
+	prev := 0
+	for p, q := range loc {
+		k := pairs[slots[q]].k
+		delta := k - prev
+		if p == 0 {
+			delta = k
+		}
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(delta))]...)
+		prev = k
+	}
+	rank := make([]uint16, len(slots))
+	for p, q := range loc {
+		rank[q] = uint16(p)
+	}
+	for _, p := range rank {
+		binary.LittleEndian.PutUint16(tmp[:2], p)
+		buf = append(buf, tmp[:2]...)
+	}
+	for q := range slots {
+		if quantize {
+			binary.LittleEndian.PutUint32(tmp[:4], math.Float32bits(float32(pairs[slots[q]].v)))
+			buf = append(buf, tmp[:4]...)
+		} else {
+			binary.LittleEndian.PutUint64(tmp[:8], math.Float64bits(pairs[slots[q]].v))
+			buf = append(buf, tmp[:8]...)
+		}
+	}
+	return buf
+}
+
+// decodeBlock is encodeBlock's inverse; it returns the block's keys
+// (ascending) plus raw windows over the fixed-width rank and value
+// sections — under mmap those are zero-copy views into the mapping,
+// decoded lazily at serve time. The caller has already verified the CRC;
+// structure — ascending keys, exact section lengths — is still validated
+// here, because a CRC only proves the file holds what the writer wrote,
+// not that the writer was sane. Rank entries are range-checked at serve
+// time (each retrieval compares the landed key against the requested
+// one), so a corrupt permutation surfaces as a per-key error instead of
+// a wrong value or a panic.
+//
+// The delta loop open-codes the one- and two-byte cases: this is the
+// hottest decode in a cold drain, and binary.Uvarint's slice-header and
+// loop setup are measurable at 10M keys.
+func decodeBlock(blob []byte, quantized bool, wantSlots int) (keys []int, rankBytes, valBytes []byte, err error) {
+	count, m := binary.Uvarint(blob)
+	if m <= 0 || count > uint64(wantSlots) {
+		return nil, nil, nil, fmt.Errorf("layout: block entry count invalid")
+	}
+	pos := m
+	keys = make([]int, count)
+	prev := -1
+	for i := range keys {
+		var d uint64
+		if pos < len(blob) && blob[pos] < 0x80 {
+			d = uint64(blob[pos])
+			pos++
+		} else if pos+1 < len(blob) && blob[pos+1] < 0x80 {
+			d = uint64(blob[pos]&0x7f) | uint64(blob[pos+1])<<7
+			pos += 2
+		} else {
+			var m int
+			d, m = binary.Uvarint(blob[pos:])
+			if m <= 0 {
+				return nil, nil, nil, fmt.Errorf("layout: block key %d truncated", i)
+			}
+			pos += m
+		}
+		k := prev + int(d)
+		if i == 0 {
+			k = int(d)
+		}
+		if k <= prev {
+			return nil, nil, nil, fmt.Errorf("layout: block keys not ascending")
+		}
+		keys[i] = k
+		prev = k
+	}
+	width := 8
+	if quantized {
+		width = 4
+	}
+	if len(blob)-pos != int(count)*(2+width) {
+		return nil, nil, nil, fmt.Errorf("layout: block rank/value section length mismatch")
+	}
+	rankEnd := pos + int(count)*2
+	return keys, blob[pos:rankEnd], blob[rankEnd:], nil
+}
+
+func validateMeta(m *Meta) error {
+	if len(m.FilterName) == 0 || len(m.FilterName) > 255 {
+		return fmt.Errorf("layout: filter name length %d out of range", len(m.FilterName))
+	}
+	if len(m.Names) == 0 || len(m.Names) != len(m.Sizes) {
+		return fmt.Errorf("layout: %d names for %d sizes", len(m.Names), len(m.Sizes))
+	}
+	if len(m.Names) > maxDims {
+		return fmt.Errorf("layout: implausible dimension count %d", len(m.Names))
+	}
+	if m.Windows != nil && len(m.Windows) != len(m.Names) {
+		return fmt.Errorf("layout: %d windows for %d dimensions", len(m.Windows), len(m.Names))
+	}
+	return nil
+}
+
+// encodeHeaderBlob serializes the geometry, optional meta and families.
+// Its length does not depend on the offset values, so Write can encode it
+// once to learn the length and once more with the final offsets.
+func encodeHeaderBlob(g *geometry, meta *Meta, families []Family) []byte {
+	var b []byte
+	u64 := func(v uint64) {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], v)
+		b = append(b, w[:]...)
+	}
+	u32 := func(v uint32) {
+		var w [4]byte
+		binary.LittleEndian.PutUint32(w[:], v)
+		b = append(b, w[:]...)
+	}
+	u16 := func(v uint16) {
+		var w [2]byte
+		binary.LittleEndian.PutUint16(w[:], v)
+		b = append(b, w[:]...)
+	}
+	str8 := func(s string) { b = append(b, byte(len(s))); b = append(b, s...) }
+	str16 := func(s string) { u16(uint16(len(s))); b = append(b, s...) }
+
+	u64(uint64(g.cells))
+	u64(uint64(g.nonzero))
+	u64(uint64(g.hotCount))
+	u32(uint32(g.blockSize))
+	u64(math.Float64bits(g.mass))
+	if meta == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		str8(meta.FilterName)
+		u64(uint64(meta.TupleCount))
+		u16(uint16(len(meta.Names)))
+		for i, name := range meta.Names {
+			str16(name)
+			u32(uint32(meta.Sizes[i]))
+			var win [2]float64
+			if meta.Windows != nil {
+				win = meta.Windows[i]
+			}
+			u64(math.Float64bits(win[0]))
+			u64(math.Float64bits(win[1]))
+		}
+	}
+	u16(uint16(len(families)))
+	for _, fam := range families {
+		str8(fam.Label)
+		str16(fam.Fingerprint)
+		u64(math.Float64bits(fam.HotCoverage))
+	}
+	u64(uint64(g.keysOff))
+	u64(uint64(g.slotOfOff))
+	u64(uint64(g.keyOfSlotOff))
+	u64(uint64(g.hotOff))
+	u64(uint64(g.blockDirOff))
+	u64(uint64(g.blocksOff))
+	u64(uint64(g.fileSize))
+	return b
+}
+
+// blobReader decodes the header blob with bounds checking; every read that
+// would run past the blob yields an error instead of a panic, so corrupted
+// headers are rejected (see FuzzOpenLayout).
+type blobReader struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (r *blobReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.b) {
+		r.err = fmt.Errorf("layout: header truncated")
+		return nil
+	}
+	s := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return s
+}
+
+func (r *blobReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *blobReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *blobReader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *blobReader) u8() uint8 {
+	if s := r.take(1); s != nil {
+		return s[0]
+	}
+	return 0
+}
+
+func (r *blobReader) str8() string  { return string(r.take(int(r.u8()))) }
+func (r *blobReader) str16() string { return string(r.take(int(r.u16()))) }
+
+// decodeHeaderBlob parses and validates the header blob. Structural
+// implausibilities — counts that disagree with the offsets, offsets outside
+// the file, section overlaps — are rejected here so the read path can trust
+// the geometry unconditionally.
+func decodeHeaderBlob(blob []byte, flags uint16, fileSize int64) (*geometry, *Meta, []Family, error) {
+	r := &blobReader{b: blob}
+	g := &geometry{flags: flags}
+	g.cells = int(r.u64())
+	g.nonzero = int(r.u64())
+	g.hotCount = int(r.u64())
+	g.blockSize = int(r.u32())
+	g.mass = math.Float64frombits(r.u64())
+
+	var meta *Meta
+	if r.u8() == 1 {
+		meta = &Meta{}
+		meta.FilterName = r.str8()
+		meta.TupleCount = int64(r.u64())
+		dims := int(r.u16())
+		if dims == 0 || dims > maxDims {
+			return nil, nil, nil, fmt.Errorf("layout: implausible dimension count %d", dims)
+		}
+		meta.Names = make([]string, dims)
+		meta.Sizes = make([]int, dims)
+		windows := make([][2]float64, dims)
+		anyWindow := false
+		for i := 0; i < dims; i++ {
+			meta.Names[i] = r.str16()
+			meta.Sizes[i] = int(r.u32())
+			windows[i] = [2]float64{
+				math.Float64frombits(r.u64()),
+				math.Float64frombits(r.u64()),
+			}
+			if windows[i] != ([2]float64{}) {
+				anyWindow = true
+			}
+		}
+		if anyWindow {
+			meta.Windows = windows
+		}
+	}
+	nf := int(r.u16())
+	if nf > 256 {
+		return nil, nil, nil, fmt.Errorf("layout: implausible family count %d", nf)
+	}
+	families := make([]Family, nf)
+	for i := range families {
+		families[i].Label = r.str8()
+		families[i].Fingerprint = r.str16()
+		families[i].HotCoverage = math.Float64frombits(r.u64())
+	}
+	g.keysOff = int64(r.u64())
+	g.slotOfOff = int64(r.u64())
+	g.keyOfSlotOff = int64(r.u64())
+	g.hotOff = int64(r.u64())
+	g.blockDirOff = int64(r.u64())
+	g.blocksOff = int64(r.u64())
+	g.fileSize = int64(r.u64())
+	if r.err != nil {
+		return nil, nil, nil, r.err
+	}
+
+	// Geometry plausibility: non-negative counts that fit the domain, and a
+	// section table consistent with the counts and the actual file size.
+	if g.cells <= 0 || g.nonzero < 0 || g.nonzero > g.cells {
+		return nil, nil, nil, fmt.Errorf("layout: implausible geometry (cells %d, nonzero %d)", g.cells, g.nonzero)
+	}
+	if g.hotCount < 0 || g.hotCount > g.nonzero || g.blockSize <= 0 || g.blockSize > maxBlockSize {
+		return nil, nil, nil, fmt.Errorf("layout: implausible geometry (hot %d of %d, block size %d)",
+			g.hotCount, g.nonzero, g.blockSize)
+	}
+	g.numBlocks = g.blocks()
+	n := int64(g.nonzero)
+	dataStart := int64(preludeSize + len(blob))
+	want := []struct {
+		name string
+		off  int64
+		size int64
+	}{
+		{"keys", g.keysOff, n * 8},
+		{"slotOf", g.slotOfOff, n * 4},
+		{"keyOfSlot", g.keyOfSlotOff, n * 8},
+		{"hot", g.hotOff, int64(g.hotCount) * 8},
+		{"blockDir", g.blockDirOff, int64(g.numBlocks) * 16},
+	}
+	next := dataStart
+	for _, s := range want {
+		if s.off != next {
+			return nil, nil, nil, fmt.Errorf("layout: %s section at %d, want %d", s.name, s.off, next)
+		}
+		next += s.size
+	}
+	if g.blocksOff != next {
+		return nil, nil, nil, fmt.Errorf("layout: blocks section at %d, want %d", g.blocksOff, next)
+	}
+	if g.fileSize < g.blocksOff || g.fileSize != fileSize {
+		return nil, nil, nil, fmt.Errorf("layout: file size %d does not match header (want %d)", fileSize, g.fileSize)
+	}
+	return g, meta, families, nil
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package layout
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile always fails on platforms without the unix mmap syscall; Store
+// serves every read through the positioned-read fallback instead.
+func mmapFile(_ *os.File, _ int64) ([]byte, error) {
+	return nil, fmt.Errorf("layout: mmap unsupported on this platform")
+}
+
+// munmapFile matches mmap_unix; unreachable when mmapFile always fails.
+func munmapFile(_ []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package layout
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only and shared. The mapping serves the
+// hot region and the index sections zero-copy; Store falls back to
+// positioned reads when it fails (or on platforms without mmap).
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > int64(int(^uint(0)>>1)) {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping produced by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

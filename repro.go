@@ -52,11 +52,15 @@ type Database struct {
 	windows [][2]float64
 
 	// coord is non-nil for databases opened with OpenDistributed: the store
-	// is a shard fan-out coordinator, the view is read-only, and distMass
-	// carries the coefficient mass assembled from the shards' metadata
-	// (coordinators cannot enumerate remote coefficients).
-	coord    *dist.CoordinatorStore
-	distMass *float64
+	// is a shard fan-out coordinator and the view is read-only.
+	coord *dist.CoordinatorStore
+	// layout is non-nil for databases opened with OpenLayout: the store
+	// serves a read-only persistent .wvls file (see layout.go).
+	layout *layoutStore
+	// cachedMass, when non-nil, short-circuits CoefficientMass — set at open
+	// time for views that either cannot enumerate their coefficients
+	// (distributed coordinators) or already persisted the mass (layouts).
+	cachedMass *float64
 
 	// prepared is the lazily-enabled prepared-plan registry (prepared.go);
 	// preparedMu makes EnablePreparedPlans idempotent under concurrency.
@@ -169,10 +173,22 @@ func (db *Database) Schema() *Schema { return db.schema }
 // Filter returns the wavelet filter of the stored transform.
 func (db *Database) Filter() *Filter { return db.filter }
 
+// readOnlyErr reports why the view cannot accept tuple updates, or nil for
+// an ordinary mutable database.
+func (db *Database) readOnlyErr(op string) error {
+	switch {
+	case db.coord != nil:
+		return fmt.Errorf("repro: distributed database is read-only; %s on the shard side before partitioning", op)
+	case db.layout != nil:
+		return fmt.Errorf("repro: layout-backed database is read-only; %s against the source database and rebuild the layout", op)
+	}
+	return nil
+}
+
 // Insert adds one tuple, updating O((L·log N)^d) stored coefficients.
 func (db *Database) Insert(coords []int) error {
-	if db.coord != nil {
-		return fmt.Errorf("repro: distributed database is read-only; insert on the shard side before partitioning")
+	if err := db.readOnlyErr("insert"); err != nil {
+		return err
 	}
 	if err := core.InsertTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
 		return err
@@ -184,8 +200,8 @@ func (db *Database) Insert(coords []int) error {
 // Delete removes one occurrence of a tuple. The caller is responsible for
 // the tuple actually being present.
 func (db *Database) Delete(coords []int) error {
-	if db.coord != nil {
-		return fmt.Errorf("repro: distributed database is read-only; delete on the shard side before partitioning")
+	if err := db.readOnlyErr("delete"); err != nil {
+		return err
 	}
 	if err := core.DeleteTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
 		return err
@@ -257,12 +273,13 @@ func (db *Database) NonzeroCoefficients() int { return db.store.NonzeroCount() }
 // store cannot enumerate its coefficients — previously this case silently
 // reported a mass of 0, which turns every worst-case bound into a useless 0.
 func (db *Database) CoefficientMass() (float64, error) {
-	// Distributed views cannot enumerate remote coefficients; the mass was
-	// assembled from the shards' metadata at open time (each shard sums its
-	// partition in ascending key order, the coordinator sums shard order),
-	// which is deterministic and equal to the single-node enumeration.
-	if db.distMass != nil {
-		return *db.distMass, nil
+	// Views opened from persisted or remote state carry their mass from open
+	// time: distributed coordinators assemble it from the shards' metadata
+	// (each shard sums its partition in ascending key order, the coordinator
+	// sums shard order), layouts persist it in the file header. Both are
+	// deterministic and equal to the single-node enumeration.
+	if db.cachedMass != nil {
+		return *db.cachedMass, nil
 	}
 	if !storage.IsEnumerable(db.store) {
 		return 0, fmt.Errorf("repro: store %T does not support enumeration; coefficient mass unknown", db.store)
