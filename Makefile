@@ -10,12 +10,14 @@
 # prepared-vs-ad-hoc load workload behind BENCH_load.json; `make bench-dist`
 # runs the shard-coordinator fan-out benches behind BENCH_dist.json;
 # `make bench-storage` runs the 10M-coefficient cold-drain benches behind
-# BENCH_storage.json. `make fuzz` gives the .wvls layout opener a short
-# adversarial shake (FuzzOpenLayout) and runs as part of `make check`.
+# BENCH_storage.json; `make bench-ingest` runs the MVCC write-path benches
+# (batched vs single-tuple Apply throughput, reader latency during sustained
+# writes) behind BENCH_ingest.json. `make fuzz` gives the .wvls layout opener
+# a short adversarial shake (FuzzOpenLayout) and runs as part of `make check`.
 
 GO ?= go
 
-.PHONY: all check vet errlint obs-lint build test race fuzz cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-storage bench-all
+.PHONY: all check vet errlint obs-lint build test race fuzz cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-storage bench-ingest bench-all
 
 all: check
 
@@ -111,6 +113,13 @@ bench-dist:
 # the whole target runs a few minutes on one core.
 bench-storage:
 	$(GO) test -run NONE -bench 'BenchmarkStorage' -benchmem -benchtime=2x -timeout 30m ./internal/storage/layout/
+
+# Live-update write-path benchmarks behind BENCH_ingest.json: batched Apply
+# vs one-tuple-per-version Apply (tuples/s at several batch sizes) and
+# head-snapshot read latency (p50/p99) while a writer sustains 256-tuple
+# batches.
+bench-ingest:
+	$(GO) test -run NONE -bench 'BenchmarkApply|BenchmarkReadLatencyUnderWrites' -benchmem -benchtime=2000x ./internal/mvcc/
 
 # Full benchmark suite, including the paper figure/table regenerators.
 bench-all:

@@ -93,6 +93,15 @@ func main() {
 		shardDialTimeout = flag.Duration("shard-dial-timeout", 0, "per-shard connect timeout (0 = default 2s)")
 		shardTimeout     = flag.Duration("shard-timeout", 0, "per-shard request deadline (0 = default 5s)")
 		shardPool        = flag.Int("shard-pool", 0, "idle connections kept per shard (0 = default 4)")
+
+		// Live updates: -mvcc turns the loaded database into an MVCC snapshot
+		// store — POST /ingest applies write batches, queries pin bit-stable
+		// snapshots, /query?version=N addresses retained versions, and a
+		// background compactor folds update layers into the base.
+		mvccOn        = flag.Bool("mvcc", false, "enable MVCC live updates: POST /ingest, snapshot-pinned queries, ?version= reads")
+		mvccMaxLayers = flag.Int("mvcc-max-layers", 0, "update layers tolerated before background compaction (0 = default 16)")
+		mvccMaxKeys   = flag.Int("mvcc-max-layer-keys", 0, "total overlay coefficients tolerated before background compaction (0 = default 131072)")
+		mvccRetain    = flag.Int("mvcc-retain", 0, "historical versions addressable via ?version= (0 = default 8)")
 	)
 	flag.Parse()
 	log, err := newLogger(*logFormat, *logLevel)
@@ -120,6 +129,17 @@ func main() {
 	}
 	if *shardAddrs == "" && (*shardDialTimeout != 0 || *shardTimeout != 0 || *shardPool != 0) {
 		fmt.Fprintln(os.Stderr, "wvqd: -shard-dial-timeout/-shard-timeout/-shard-pool only apply with -shards")
+		os.Exit(1)
+	}
+	// MVCC needs a local, writable, enumerable view: a layout file is
+	// read-only, a coordinator has no local store, and a shard server does
+	// not take writes.
+	if *mvccOn && (*layoutPath != "" || *shardListen != "" || *shardAddrs != "") {
+		fmt.Fprintln(os.Stderr, "wvqd: -mvcc serves a local database file; it cannot be combined with -layout, -shard-listen or -shards")
+		os.Exit(1)
+	}
+	if !*mvccOn && (*mvccMaxLayers != 0 || *mvccMaxKeys != 0 || *mvccRetain != 0) {
+		fmt.Fprintln(os.Stderr, "wvqd: -mvcc-max-layers/-mvcc-max-layer-keys/-mvcc-retain only apply with -mvcc")
 		os.Exit(1)
 	}
 	if *shardListen != "" {
@@ -184,7 +204,15 @@ func main() {
 			PoolSize:       *shardPool,
 		},
 	}
-	if err := run(*dbPath, *layoutPath, *addr, *pprofAddr, opts, robust, dist, *drainTimeout, log); err != nil {
+	mvcc := mvccConfig{
+		enabled: *mvccOn,
+		cfg: repro.MVCCConfig{
+			MaxLayers:    *mvccMaxLayers,
+			MaxLayerKeys: *mvccMaxKeys,
+			Retain:       *mvccRetain,
+		},
+	}
+	if err := run(*dbPath, *layoutPath, *addr, *pprofAddr, opts, robust, dist, mvcc, *drainTimeout, log); err != nil {
 		log.Error("exiting", "error", err)
 		os.Exit(1)
 	}
@@ -223,7 +251,14 @@ type distConfig struct {
 	opts   repro.DistOptions
 }
 
-func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust robustConfig, dist distConfig, drainTimeout time.Duration, log *slog.Logger) error {
+// mvccConfig selects live-update mode: the loaded database becomes an MVCC
+// snapshot store before any robustness layer wraps it.
+type mvccConfig struct {
+	enabled bool
+	cfg     repro.MVCCConfig
+}
+
+func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust robustConfig, dist distConfig, mvcc mvccConfig, drainTimeout time.Duration, log *slog.Logger) error {
 	var db *repro.Database
 	switch {
 	case len(dist.shards) > 0:
@@ -260,6 +295,18 @@ func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust
 		}
 	}
 	defer func() { _ = db.Close() }()
+	// MVCC goes on first: the store becomes the frozen version-0 base, and
+	// every later layer (chaos, retries, instrumentation, the server's
+	// coalescing) wraps the base of each immutable snapshot.
+	if mvcc.enabled {
+		if err := db.EnableMVCC(mvcc.cfg); err != nil {
+			return fmt.Errorf("enabling MVCC: %w", err)
+		}
+		log.Info("mvcc on",
+			"max_layers", mvcc.cfg.MaxLayers,
+			"max_layer_keys", mvcc.cfg.MaxLayerKeys,
+			"retain", mvcc.cfg.Retain)
+	}
 	if robust.chaosEnabled() {
 		db.InjectFaults(robust.chaos) // daemon-lifetime: restore fn not needed
 		log.Info("chaos injection on",

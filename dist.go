@@ -50,10 +50,11 @@ type ShardServer struct {
 // database); the coordinator cross-checks both at open time. logger may be
 // nil for silence.
 func (db *Database) NewShardServer(index, count int, logger *slog.Logger) (*ShardServer, error) {
-	if !storage.IsEnumerable(db.store) {
-		return nil, fmt.Errorf("repro: store %T cannot enumerate; cannot partition it into shards", db.store)
+	st := db.evalStore() // one stable view under MVCC
+	if !storage.IsEnumerable(st) {
+		return nil, fmt.Errorf("repro: store %T cannot enumerate; cannot partition it into shards", st)
 	}
-	part, nonzero, mass, err := dist.Partition(db.store.(storage.Enumerable), index, count)
+	part, nonzero, mass, err := dist.Partition(st.(storage.Enumerable), index, count)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +63,7 @@ func (db *Database) NewShardServer(index, count int, logger *slog.Logger) (*Shar
 		Sizes:      db.schema.Sizes,
 		Windows:    db.windows,
 		FilterName: db.filter.Name,
-		TupleCount: db.tuples,
+		TupleCount: db.TupleCount(),
 		ShardIndex: index,
 		ShardCount: count,
 		Nonzero:    nonzero,
@@ -174,15 +175,16 @@ func OpenDistributed(addrs []string, opts DistOptions) (*Database, error) {
 		closeAll()
 		return nil, err
 	}
-	return &Database{
-		schema:   schema,
-		filter:   filter,
-		store:    coord,
-		tuples:   metas[0].TupleCount,
-		windows:  metas[0].Windows,
+	db := &Database{
+		schema:     schema,
+		filter:     filter,
+		store:      coord,
+		windows:    metas[0].Windows,
 		cachedMass: &mass,
 		coord:      coord,
-	}, nil
+	}
+	db.tuples.Store(metas[0].TupleCount)
+	return db, nil
 }
 
 // Distributed reports whether this database retrieves through a shard

@@ -1,0 +1,138 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/mvcc"
+)
+
+func batchCols() []Column {
+	return []Column{
+		{Name: "x", Bins: 8, Min: 0, Max: 8},
+		{Name: "y", Bins: 8, Min: 0, Max: 8},
+	}
+}
+
+func TestCSVBatchesStreams(t *testing.T) {
+	csv := "x,y\n" + strings.Repeat("1.0,2.0\n", 10)
+	var batches []*mvcc.Batch
+	rows, skipped, err := CSVBatches(strings.NewReader(csv), batchCols(), 4, func(b *mvcc.Batch) error {
+		batches = append(batches, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 || skipped != 0 {
+		t.Fatalf("rows=%d skipped=%d, want 10 and 0", rows, skipped)
+	}
+	// 10 rows at batch size 4 → 4+4+2.
+	if len(batches) != 3 {
+		t.Fatalf("emitted %d batches, want 3", len(batches))
+	}
+	total := 0
+	for i, b := range batches {
+		total += b.Len()
+		want := 4
+		if i == len(batches)-1 {
+			want = 2
+		}
+		if b.Len() != want {
+			t.Fatalf("batch %d has %d tuples, want %d", i, b.Len(), want)
+		}
+	}
+	if total != rows {
+		t.Fatalf("batches hold %d tuples, rows=%d", total, rows)
+	}
+}
+
+func TestCSVBatchesSkipsBadRows(t *testing.T) {
+	csv := "y,x,extra\n2.0,1.0,zzz\nnope,1.0,z\n3.0,,z\n4.0,7.0,z\n"
+	rows, skipped, err := CSVBatches(strings.NewReader(csv), batchCols(), 0, func(b *mvcc.Batch) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 has an unparsable y, row 3 an empty x field.
+	if rows != 2 || skipped != 2 {
+		t.Fatalf("rows=%d skipped=%d, want 2 and 2", rows, skipped)
+	}
+}
+
+func TestCSVBatchesValidation(t *testing.T) {
+	ok := func(*mvcc.Batch) error { return nil }
+	cases := []struct {
+		name string
+		cols []Column
+		csv  string
+	}{
+		{"no columns", nil, "x\n1\n"},
+		{"bins not power of two", []Column{{Name: "x", Bins: 5, Min: 0, Max: 1}}, "x\n1\n"},
+		{"no window", []Column{{Name: "x", Bins: 8}}, "x\n1\n"},
+		{"empty window", []Column{{Name: "x", Bins: 8, Min: 2, Max: 2}}, "x\n1\n"},
+		{"column not in header", []Column{{Name: "z", Bins: 8, Min: 0, Max: 1}}, "x,y\n1,2\n"},
+		{"empty input", []Column{{Name: "x", Bins: 8, Min: 0, Max: 1}}, ""},
+	}
+	for _, tc := range cases {
+		if _, _, err := CSVBatches(strings.NewReader(tc.csv), tc.cols, 0, ok); err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+	}
+	if _, _, err := CSVBatches(strings.NewReader("x\n1\n"),
+		[]Column{{Name: "x", Bins: 8, Min: 0, Max: 1}}, 0, nil); err == nil {
+		t.Fatal("nil emit: no error")
+	}
+}
+
+func TestCSVBatchesEmitErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	csv := "x,y\n" + strings.Repeat("1.0,2.0\n", 10)
+	calls := 0
+	rows, _, err := CSVBatches(strings.NewReader(csv), batchCols(), 3, func(b *mvcc.Batch) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the emit error verbatim", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times after abort, want 2", calls)
+	}
+	// rows counts tuples handed to emit, including the failed batch.
+	if rows != 6 {
+		t.Fatalf("rows = %d, want 6", rows)
+	}
+}
+
+func TestCSVBatchesQuantizesLikeCSV(t *testing.T) {
+	// The same values through the one-shot CSV path and the streaming path
+	// must land on identical bins: both share quantize().
+	var got *mvcc.Batch
+	_, _, err := CSVBatches(strings.NewReader("x,y\n0.0,7.9\n3.999,4.0\n"), batchCols(), 0,
+		func(b *mvcc.Batch) error {
+			got = b
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Len() != 2 {
+		t.Fatalf("batch = %v", got)
+	}
+	// Window [0..8) over 8 bins: 0.0→0, 7.9→7, 3.999→3, 4.0→4.
+	if k := quantize(0.0, 0, 8, 8); k != 0 {
+		t.Fatalf("quantize(0.0) = %d", k)
+	}
+	if k := quantize(7.9, 0, 8, 8); k != 7 {
+		t.Fatalf("quantize(7.9) = %d", k)
+	}
+	if k := quantize(3.999, 0, 8, 8); k != 3 {
+		t.Fatalf("quantize(3.999) = %d", k)
+	}
+}

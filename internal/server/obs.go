@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/mvcc"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
@@ -24,13 +25,13 @@ import (
 
 // endpoints is the fixed label set for per-endpoint metrics; unknown paths
 // collapse into "other" so the metric cardinality is bounded.
-var endpoints = []string{"/healthz", "/stats", "/query", "/query/stream", "/prepare", "other"}
+var endpoints = []string{"/healthz", "/stats", "/query", "/query/stream", "/prepare", "/ingest", "other"}
 
 // endpointLabel maps a request path to its metric label. DELETE
 // /prepare/<handle> collapses into "/prepare" to keep cardinality bounded.
 func endpointLabel(path string) string {
 	switch path {
-	case "/healthz", "/stats", "/query", "/query/stream", "/prepare":
+	case "/healthz", "/stats", "/query", "/query/stream", "/prepare", "/ingest":
 		return path
 	}
 	if strings.HasPrefix(path, "/prepare/") {
@@ -66,6 +67,7 @@ func (h *Handler) Observe(o *obs.Observer) {
 	core.Observe(reg)
 	sched.Observe(reg)
 	dist.Observe(reg)
+	mvcc.Observe(reg)
 	h.obs = o
 	if reg == nil {
 		h.met = nil

@@ -55,8 +55,9 @@ type Handler struct {
 	// quotas bounds per-tenant prepared registrations (scheduler admission
 	// control); released when a plan is evicted or removed.
 	quotas *sched.Quotas
-	// preparedExecs / adhocExecs count query executions by plan source.
-	preparedExecs, adhocExecs atomic.Int64
+	// preparedExecs / adhocExecs count query executions by plan source;
+	// ingestedTuples counts tuple operations applied through POST /ingest.
+	preparedExecs, adhocExecs, ingestedTuples atomic.Int64
 }
 
 // Options configures the handler beyond scheduler sizing.
@@ -136,6 +137,10 @@ type QueryResponse struct {
 	Exact     bool `json:"exact"`
 	Retrieved int  `json:"retrieved"`
 	Distinct  int  `json:"distinct"`
+	// Version is the database version the query evaluated against (present
+	// only for MVCC databases; pinned for the whole request, so progressive
+	// results are bit-stable under concurrent ingest).
+	Version *uint64 `json:"version,omitempty"`
 	// TimedOut marks a response cut short by timeout_ms: the results are
 	// the progressive state reached within the deadline.
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -174,6 +179,12 @@ type StatsResponse struct {
 	// Layout reports the persistent layout store's serving tiers when the
 	// database is layout-backed (wvqd -layout); omitted otherwise.
 	Layout *repro.LayoutStats `json:"layout,omitempty"`
+	// Mvcc reports the live-update tier (version, overlay depth, applies,
+	// compactions, pins) when the database runs under MVCC (wvqd -mvcc);
+	// omitted otherwise.
+	Mvcc *repro.MVCCStats `json:"mvcc,omitempty"`
+	// Ingested counts tuples applied through POST /ingest.
+	Ingested int64 `json:"ingested,omitempty"`
 }
 
 // DistStats is the /stats view of the distributed tier: one health ledger
@@ -221,6 +232,8 @@ func (h *Handler) route(w http.ResponseWriter, r *http.Request) {
 		h.stats(w)
 	case r.URL.Path == "/query" && r.Method == http.MethodPost:
 		h.query(w, r)
+	case r.URL.Path == "/ingest" && r.Method == http.MethodPost:
+		h.ingest(w, r)
 	case r.URL.Path == "/query/stream" && r.Method == http.MethodPost:
 		h.stream(w, r)
 	case r.URL.Path == "/prepare" && r.Method == http.MethodPost:
@@ -284,6 +297,10 @@ func (h *Handler) stats(w http.ResponseWriter) {
 	if ls, ok := h.db.LayoutStats(); ok {
 		resp.Layout = &ls
 	}
+	if ms, ok := h.db.MVCCStats(); ok {
+		resp.Mvcc = &ms
+		resp.Ingested = h.ingestedTuples.Load()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -294,6 +311,11 @@ type submission struct {
 	plan   *repro.Plan
 	ticket *sched.Ticket
 	cancel context.CancelFunc
+	// snap pins the MVCC version the run evaluates against (nil without
+	// MVCC); version is surfaced in the response. The endpoint releases the
+	// pin when the request finishes.
+	snap    *repro.Snapshot
+	version *uint64
 	// perm maps caller query position i to the plan's result slot (nil means
 	// identity). Inline batches execute on the registry's canonical-order
 	// plan, so their results must be mapped back to statement order.
@@ -308,6 +330,13 @@ type submission struct {
 // budget cuts, timeouts, and cancellations (first Finish wins).
 func (sub *submission) finishTrace(p sched.Progress) {
 	sub.trace.Finish(p.Done, p.Retrieved, p.Bound, p.Skipped)
+}
+
+// release unpins the submission's MVCC snapshot (idempotent, nil-safe).
+func (sub *submission) release() {
+	if sub.snap != nil {
+		sub.snap.Release()
+	}
 }
 
 // admit parses, validates, plans and submits a request. On any failure it
@@ -402,6 +431,51 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	if budget >= plan.DistinctCoefficients() {
 		budget = 0 // exact
 	}
+	// Under MVCC the request pins one version for its whole lifetime:
+	// ?version=N pins a retained historical snapshot, otherwise the head at
+	// admission. The run, its Theorem-1 mass, and the response version all
+	// come from that one pinned state, so progressive results are bit-stable
+	// however much ingest lands mid-drain.
+	var (
+		snap    *repro.Snapshot
+		version *uint64
+	)
+	if verParam := r.URL.Query().Get("version"); verParam != "" {
+		if !h.db.MVCCEnabled() {
+			http.Error(w, "bad request: version queries require an MVCC database", http.StatusBadRequest)
+			return nil
+		}
+		v, err := strconv.ParseUint(verParam, 10, 64)
+		if err != nil {
+			http.Error(w, "bad request: version must be a non-negative integer", http.StatusBadRequest)
+			return nil
+		}
+		sn, err := h.db.SnapshotAt(repro.Version(v))
+		if err != nil {
+			if errors.Is(err, repro.ErrVersionNotRetained) {
+				http.Error(w, "version not retained: "+err.Error(), http.StatusNotFound)
+			} else {
+				http.Error(w, "snapshot failed: "+err.Error(), http.StatusInternalServerError)
+			}
+			return nil
+		}
+		snap = sn
+	} else if h.db.MVCCEnabled() {
+		sn, err := h.db.Snapshot()
+		if err != nil {
+			http.Error(w, "snapshot failed: "+err.Error(), http.StatusInternalServerError)
+			return nil
+		}
+		snap = sn
+	}
+	mass := h.mass
+	if snap != nil {
+		ver := uint64(snap.Version())
+		version = &ver
+		if m, err := snap.CoefficientMass(); err == nil {
+			mass = m
+		}
+	}
 	var (
 		ctx    context.Context
 		cancel context.CancelFunc
@@ -411,7 +485,12 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	} else {
 		ctx, cancel = context.WithCancel(r.Context())
 	}
-	run := h.db.NewRun(plan, repro.SSE())
+	var run *repro.Run
+	if snap != nil {
+		run = snap.NewRun(plan, repro.SSE())
+	} else {
+		run = h.db.NewRun(plan, repro.SSE())
+	}
 	var trace *obs.RunTrace
 	if h.obs != nil && h.obs.Runs != nil {
 		id := obs.RequestID(r.Context())
@@ -423,16 +502,19 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 			stmts = "handle:" + req.Handle
 		}
 		trace = h.obs.Runs.Start(id, stmts)
-		run.AttachTrace(trace, h.mass)
+		run.AttachTrace(trace, mass)
 	}
 	ticket, err := h.sched.Submit(ctx, sched.Job{
 		Run:      run,
 		Budget:   budget,
 		Priority: prio,
-		Mass:     h.mass,
+		Mass:     mass,
 	})
 	if err != nil {
 		cancel()
+		if snap != nil {
+			snap.Release()
+		}
 		trace.Finish(false, 0, 0, 0)
 		if errors.Is(err, sched.ErrOverloaded) {
 			w.Header().Set("Retry-After", strconv.Itoa(int(h.sched.RetryAfter().Seconds())))
@@ -442,7 +524,8 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		}
 		return nil
 	}
-	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace, perm: perm}
+	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace, perm: perm,
+		snap: snap, version: version}
 }
 
 // response renders a progress snapshot in the /query wire shape.
@@ -451,6 +534,7 @@ func (sub *submission) response(p sched.Progress, timedOut bool) QueryResponse {
 		Exact:     p.Done && !p.Degraded,
 		Retrieved: p.Retrieved,
 		Distinct:  sub.plan.DistinctCoefficients(),
+		Version:   sub.version,
 		TimedOut:  timedOut,
 		Degraded:  p.Degraded,
 		Skipped:   p.Skipped,
@@ -477,6 +561,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.cancel()
+	defer sub.release()
 	final, err := sub.ticket.Final()
 	sub.finishTrace(final)
 	// A degraded result is a partial answer with bounds: 206, not 200.

@@ -30,6 +30,7 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sub.cancel()
+	defer sub.release()
 	if h.met != nil {
 		h.met.sseStreams.Inc()
 		defer h.met.sseStreams.Dec()

@@ -53,13 +53,14 @@ type LayoutOptions struct {
 // filter, tuple count, windows) so OpenLayout can reassemble a servable
 // view from it alone. The store must be enumerable.
 func (db *Database) SaveLayout(path string, opts LayoutOptions) error {
-	if !storage.IsEnumerable(db.store) {
-		return fmt.Errorf("repro: store %T does not support enumeration; cannot build a layout", db.store)
+	st := db.evalStore() // one stable view under MVCC
+	if !storage.IsEnumerable(st) {
+		return fmt.Errorf("repro: store %T does not support enumeration; cannot build a layout", st)
 	}
-	n := db.store.NonzeroCount()
+	n := st.NonzeroCount()
 	keys := make([]int, 0, n)
 	values := make([]float64, 0, n)
-	db.store.(storage.Enumerable).ForEachNonzero(func(k int, v float64) bool {
+	st.(storage.Enumerable).ForEachNonzero(func(k int, v float64) bool {
 		keys = append(keys, k)
 		values = append(values, v)
 		return true
@@ -85,7 +86,7 @@ func (db *Database) SaveLayout(path string, opts LayoutOptions) error {
 		Quantize:  opts.Quantize,
 		Meta: &layout.Meta{
 			FilterName: db.filter.Name,
-			TupleCount: db.tuples,
+			TupleCount: db.TupleCount(),
 			Names:      db.schema.Names,
 			Sizes:      db.schema.Sizes,
 			Windows:    db.windows,
@@ -130,15 +131,16 @@ func OpenLayout(path string) (*Database, error) {
 		return nil, fmt.Errorf("repro: layout uses %w", err)
 	}
 	mass := s.Mass()
-	return &Database{
+	db := &Database{
 		schema:     schema,
 		filter:     filter,
 		store:      s,
-		tuples:     meta.TupleCount,
 		windows:    meta.Windows,
 		layout:     s,
 		cachedMass: &mass,
-	}, nil
+	}
+	db.tuples.Store(meta.TupleCount)
+	return db, nil
 }
 
 // LayoutBacked reports whether this database serves coefficients from a

@@ -21,6 +21,18 @@ import (
 // counters then report shared fetches while the timing wrapper reports the
 // physical retrievals underneath. Idempotent.
 func (db *Database) EnableInstrumentation() {
+	if db.mvcc != nil {
+		// Under MVCC the timing wrapper goes around the immutable base of
+		// every view — it times the physical tier, not the in-memory overlay.
+		if db.mvccInstrumented {
+			return
+		}
+		db.mvccInstrumented = true
+		db.mvcc.WrapBase(func(s storage.Store) storage.Store {
+			return storage.WrapInstrumented(s)
+		})
+		return
+	}
 	if storage.IsInstrumented(db.store) {
 		return
 	}

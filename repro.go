@@ -28,14 +28,19 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dist"
+	"repro/internal/mvcc"
 	"repro/internal/query"
 	"repro/internal/storage"
 	"repro/internal/wavelet"
@@ -43,13 +48,25 @@ import (
 
 // Database owns the materialized view Δ̂: the wavelet transform of a data
 // frequency distribution held in constant-access storage, plus the filter
-// that produced it. It is not safe for concurrent use.
+// that produced it. Reads are safe for concurrent use when the store is
+// (see ConcurrentSafe); concurrent writers additionally require EnableMVCC.
 type Database struct {
 	schema  *Schema
 	filter  *Filter
 	store   storage.Updatable
-	tuples  int64
+	tuples  atomic.Int64
 	windows [][2]float64
+
+	// mvcc is non-nil after EnableMVCC: db.store is the MVCC store and every
+	// write publishes a version (mvcc.go). version is the write counter of
+	// plain (non-MVCC) databases.
+	mvcc    *mvcc.Store
+	version atomic.Uint64
+	// mvccCoalesce tracks the coalescing layer instance inside the MVCC
+	// base wrap chain (rebuilt at compaction) for CoalescingStats;
+	// mvccInstrumented makes EnableInstrumentation idempotent under MVCC.
+	mvccCoalesce     *coalesceHolder
+	mvccInstrumented bool
 
 	// coord is non-nil for databases opened with OpenDistributed: the store
 	// is a shard fan-out coordinator and the view is read-only.
@@ -120,7 +137,9 @@ func NewDatabase(dist *Distribution, filter *Filter, opts ...DatabaseOption) (*D
 	default:
 		return nil, fmt.Errorf("repro: unknown store kind %d", cfg.kind)
 	}
-	return &Database{schema: dist.Schema, filter: filter, store: store, tuples: dist.TupleCount}, nil
+	db := &Database{schema: dist.Schema, filter: filter, store: store}
+	db.tuples.Store(dist.TupleCount)
+	return db, nil
 }
 
 // NewSparseDatabase bulk-loads a sparse distribution without materializing
@@ -140,7 +159,9 @@ func NewSparseDatabase(dist *SparseDistribution, filter *Filter) (*Database, err
 	for k, v := range hat {
 		store.Add(k, v)
 	}
-	return &Database{schema: dist.Schema, filter: filter, store: store, tuples: dist.TupleCount}, nil
+	db := &Database{schema: dist.Schema, filter: filter, store: store}
+	db.tuples.Store(dist.TupleCount)
+	return db, nil
 }
 
 // NewEmptyDatabase creates a database with no tuples, to be populated
@@ -173,45 +194,46 @@ func (db *Database) Schema() *Schema { return db.schema }
 // Filter returns the wavelet filter of the stored transform.
 func (db *Database) Filter() *Filter { return db.filter }
 
+// ErrReadOnly is the typed refusal of writes against read-only views
+// (distributed coordinators, layout files); match it with errors.Is. The
+// wrapped message carries the view-specific hint for how to write instead.
+var ErrReadOnly = errors.New("repro: database view is read-only")
+
 // readOnlyErr reports why the view cannot accept tuple updates, or nil for
-// an ordinary mutable database.
+// an ordinary mutable database. The returned error wraps ErrReadOnly.
 func (db *Database) readOnlyErr(op string) error {
 	switch {
 	case db.coord != nil:
-		return fmt.Errorf("repro: distributed database is read-only; %s on the shard side before partitioning", op)
+		return fmt.Errorf("%w: distributed database; %s on the shard side before partitioning", ErrReadOnly, op)
 	case db.layout != nil:
-		return fmt.Errorf("repro: layout-backed database is read-only; %s against the source database and rebuild the layout", op)
+		return fmt.Errorf("%w: layout-backed database; %s against the source database and rebuild the layout", ErrReadOnly, op)
 	}
 	return nil
 }
 
-// Insert adds one tuple, updating O((L·log N)^d) stored coefficients.
+// Insert adds one tuple, updating O((L·log N)^d) stored coefficients. It is
+// a one-tuple Apply: all writes share the batched code path (and publish a
+// version under MVCC); bulk loads should batch tuples into a WriteBatch
+// instead.
 func (db *Database) Insert(coords []int) error {
-	if err := db.readOnlyErr("insert"); err != nil {
-		return err
-	}
-	if err := core.InsertTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
-		return err
-	}
-	db.tuples++
-	return nil
+	_, err := db.Apply(context.Background(), NewWriteBatch().Add(coords, 1))
+	return err
 }
 
-// Delete removes one occurrence of a tuple. The caller is responsible for
-// the tuple actually being present.
+// Delete removes one occurrence of a tuple (a one-tuple Apply). The caller
+// is responsible for the tuple actually being present.
 func (db *Database) Delete(coords []int) error {
-	if err := db.readOnlyErr("delete"); err != nil {
-		return err
-	}
-	if err := core.DeleteTuple(db.store, db.filter, db.schema.Sizes, coords); err != nil {
-		return err
-	}
-	db.tuples--
-	return nil
+	_, err := db.Apply(context.Background(), NewWriteBatch().Remove(coords))
+	return err
 }
 
 // TupleCount returns the number of tuples the view represents.
-func (db *Database) TupleCount() int64 { return db.tuples }
+func (db *Database) TupleCount() int64 {
+	if db.mvcc != nil {
+		return int64(math.Round(db.mvcc.TupleWeight()))
+	}
+	return db.tuples.Load()
+}
 
 // SetWindows records the per-attribute quantization windows mapping bins
 // back to raw units (for example from CSV ingestion); they are persisted by
@@ -231,10 +253,18 @@ func (db *Database) Windows() [][2]float64 { return db.windows }
 // coefficients) to w in the versioned, checksummed binary format of
 // internal/codec. The stored view can be reopened with LoadDatabase.
 func (db *Database) Save(w io.Writer) error {
+	if db.mvcc != nil {
+		// Pin one version so the tuple count and the enumerated coefficients
+		// describe the same state even while writes land.
+		sn := db.mvcc.Snapshot()
+		defer sn.Release()
+		return codec.Write(w, db.schema, db.filter.Name,
+			int64(math.Round(sn.TupleWeight())), sn.View().(storage.Enumerable), db.windows)
+	}
 	if !storage.IsEnumerable(db.store) {
 		return fmt.Errorf("repro: store does not support enumeration")
 	}
-	return codec.Write(w, db.schema, db.filter.Name, db.tuples, db.store.(storage.Enumerable), db.windows)
+	return codec.Write(w, db.schema, db.filter.Name, db.tuples.Load(), db.store.(storage.Enumerable), db.windows)
 }
 
 // LoadDatabase deserializes a database previously written with Save.
@@ -248,13 +278,14 @@ func LoadDatabase(r io.Reader) (*Database, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: stored database uses %w", err)
 	}
-	return &Database{
+	db := &Database{
 		schema:  snap.Schema,
 		filter:  filter,
 		store:   snap.Store(),
-		tuples:  snap.TupleCount,
 		windows: snap.Windows,
-	}, nil
+	}
+	db.tuples.Store(snap.TupleCount)
+	return db, nil
 }
 
 // Retrievals returns the number of coefficient retrievals performed against
@@ -280,6 +311,12 @@ func (db *Database) CoefficientMass() (float64, error) {
 	// deterministic and equal to the single-node enumeration.
 	if db.cachedMass != nil {
 		return *db.cachedMass, nil
+	}
+	// MVCC stores keep the mass as exact incremental bookkeeping (open-time
+	// enumeration plus per-Apply increments, carried across compactions), so
+	// bounds stay deterministic under live writes.
+	if db.mvcc != nil {
+		return db.mvcc.Mass(), nil
 	}
 	if !storage.IsEnumerable(db.store) {
 		return 0, fmt.Errorf("repro: store %T does not support enumeration; coefficient mass unknown", db.store)
@@ -321,16 +358,27 @@ func (db *Database) PlanParallel(batch Batch, workers int) (*Plan, error) {
 	return core.NewWaveletPlanParallel(batch, db.filter, workers)
 }
 
+// evalStore returns the read surface evaluation paths bind to: for MVCC
+// databases the current head snapshot (immutable — a run or exact pass over
+// it is bit-stable however many writes land mid-drain), otherwise the store
+// itself. Each evaluation entry point captures it once.
+func (db *Database) evalStore() storage.Store {
+	if db.mvcc != nil {
+		return db.mvcc.View()
+	}
+	return db.store
+}
+
 // Exact evaluates a plan exactly with one retrieval per distinct
 // coefficient.
-func (db *Database) Exact(plan *Plan) []float64 { return plan.Exact(db.store) }
+func (db *Database) Exact(plan *Plan) []float64 { return plan.Exact(db.evalStore()) }
 
 // ExactParallel evaluates a plan exactly using batched retrievals and up to
 // workers goroutines (≤0 selects GOMAXPROCS); results are bit-identical to
 // Exact. Retrievals run concurrently only when the store is concurrent-safe
 // (StoreSharded); otherwise the fetch is a single batched call.
 func (db *Database) ExactParallel(plan *Plan, workers int) []float64 {
-	return plan.ExactParallel(db.store, workers)
+	return plan.ExactParallel(db.evalStore(), workers)
 }
 
 // ConcurrentSafe reports whether the database's coefficient store may be
@@ -366,6 +414,24 @@ type CoalesceStats = storage.CoalesceStats
 // Retrievals counts physical fetches only; per-run retrieval counts are
 // unchanged. Idempotent.
 func (db *Database) EnableCoalescing() error {
+	if db.mvcc != nil {
+		// Under MVCC the coalescing layer wraps the immutable base of every
+		// view (the MVCC base chain is always concurrent-safe); overlay
+		// layers are in-memory maps with nothing to coalesce. Compaction
+		// rebuilds the chain over the new base, so CoalescingStats counts
+		// since the last compaction.
+		if db.mvccCoalesce != nil {
+			return nil
+		}
+		holder := new(coalesceHolder)
+		db.mvcc.WrapBase(func(s storage.Store) storage.Store {
+			cs := storage.NewCoalescingStore(s.(storage.Concurrent))
+			holder.Store(cs)
+			return cs
+		})
+		db.mvccCoalesce = holder
+		return nil
+	}
 	if _, ok := db.store.(*storage.CoalescingStore); ok {
 		return nil
 	}
@@ -378,8 +444,16 @@ func (db *Database) EnableCoalescing() error {
 }
 
 // CoalescingStats returns the coalescing counters; ok is false when
-// EnableCoalescing has not been called.
+// EnableCoalescing has not been called. Under MVCC the counters cover the
+// window since the last compaction (the layer is rebuilt over each new
+// base).
 func (db *Database) CoalescingStats() (stats CoalesceStats, ok bool) {
+	if db.mvccCoalesce != nil {
+		if cs := db.mvccCoalesce.Load(); cs != nil {
+			return cs.Stats(), true
+		}
+		return CoalesceStats{}, false
+	}
 	cs, ok := db.store.(*storage.CoalescingStore)
 	if !ok {
 		return CoalesceStats{}, false
@@ -392,7 +466,7 @@ func (db *Database) CoalescingStats() (stats CoalesceStats, ok bool) {
 // first run under a given penalty this is cheap — repeated and concurrent
 // runs on one plan share a single precomputed schedule.
 func (db *Database) NewRun(plan *Plan, pen Penalty) *Run {
-	return core.NewRun(plan, pen, db.store)
+	return core.NewRun(plan, pen, db.evalStore())
 }
 
 // NewRoundRobinRun starts the unshared per-query baseline for the batch
@@ -402,7 +476,7 @@ func (db *Database) NewRoundRobinRun(batch Batch) (*RoundRobin, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewRoundRobin(vectors, db.store)
+	return core.NewRoundRobin(vectors, db.evalStore())
 }
 
 func batchVectors(batch Batch, f *Filter) ([]sparseVector, error) {

@@ -39,13 +39,13 @@ var (
 // error bound to degrade to; for partial answers under failures use a
 // progressive Run, which skips failed entries and bounds the residual.
 func (db *Database) ExactCtx(ctx context.Context, plan *Plan) ([]float64, error) {
-	return plan.ExactCtx(ctx, db.store)
+	return plan.ExactCtx(ctx, db.evalStore())
 }
 
 // ExactParallelCtx is the fallible ExactParallel: batched context-aware
 // retrieval, parallel apply, bit-identical to Exact on a fault-free store.
 func (db *Database) ExactParallelCtx(ctx context.Context, plan *Plan, workers int) ([]float64, error) {
-	return plan.ExactParallelCtx(ctx, db.store, workers)
+	return plan.ExactParallelCtx(ctx, db.evalStore(), workers)
 }
 
 // EnableRetries wraps the database's store with a retry layer: fallible
@@ -56,6 +56,14 @@ func (db *Database) ExactParallelCtx(ctx context.Context, plan *Plan, workers in
 // EnableCoalescing (and before handing the database to the HTTP server) so
 // retries sit under the coalescing layer and a recovered fetch is shared.
 func (db *Database) EnableRetries(cfg RetryConfig) {
+	if db.mvcc != nil {
+		// Under MVCC the retry layer wraps the immutable base of every view;
+		// overlay layers are in-memory maps and never fail.
+		db.mvcc.WrapBase(func(s storage.Store) storage.Store {
+			return storage.WrapRetries(s, cfg)
+		})
+		return
+	}
 	db.store = storage.WrapRetries(db.store, cfg).(storage.Updatable)
 }
 
@@ -66,7 +74,14 @@ func (db *Database) EnableRetries(cfg RetryConfig) {
 // of it since — restore rewinds the store to its pre-injection state).
 // Layering: inject faults first, then EnableRetries to test recovery, then
 // the server (whose coalescing layer goes on top).
+// Under MVCC the injector wraps the base of every view and restore removes
+// just the injector, leaving layers added on top in place.
 func (db *Database) InjectFaults(cfg FaultConfig) (restore func()) {
+	if db.mvcc != nil {
+		return db.mvcc.WrapBase(func(s storage.Store) storage.Store {
+			return storage.WrapFaults(s, cfg)
+		})
+	}
 	prev := db.store
 	db.store = storage.WrapFaults(db.store, cfg).(storage.Updatable)
 	return func() { db.store = prev }

@@ -25,9 +25,13 @@ type Session struct {
 }
 
 // NewSession starts a session with the given cache capacity in coefficients
-// (use UnboundedCache to never evict).
+// (use UnboundedCache to never evict). Under MVCC the session binds to the
+// head snapshot at creation time: every batch it evaluates sees that one
+// version, bit-stable however many writes land while the session lives
+// (start a new session to observe newer versions — also required for cache
+// correctness, since cached coefficients never expire).
 func (db *Database) NewSession(cacheCapacity int) (*Session, error) {
-	cs, err := storage.NewCachedStore(db.store, cacheCapacity)
+	cs, err := storage.NewCachedStore(db.evalStore(), cacheCapacity)
 	if err != nil {
 		return nil, err
 	}
