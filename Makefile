@@ -17,11 +17,11 @@
 
 GO ?= go
 
-.PHONY: all check vet errlint obs-lint build test race fuzz cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-storage bench-ingest bench-all
+.PHONY: all check vet errlint obs-lint metric-lint build test race fuzz cover bench bench-core bench-sched bench-robust bench-obs bench-load bench-dist bench-storage bench-ingest bench-all
 
 all: check
 
-check: vet errlint obs-lint build test race fuzz
+check: vet errlint obs-lint metric-lint build test race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -39,6 +39,13 @@ errlint:
 obs-lint:
 	@! grep -rnE '(^|[^.[:alnum:]_])(log\.(Printf|Println|Print|Fatalf?|Fatalln|Panicf?|Panicln)\(|fmt\.(Printf|Println|Print)\(|fmt\.Fprint(f|ln)?\(os\.Std)' internal *.go --include='*.go' | grep -v _test.go \
 		|| { echo "obs-lint: raw console printing in library code; log via internal/obs (slog) instead" >&2; exit 1; }
+
+# Metric naming hygiene (tools/metriclint): every registered metric is
+# snake_case under the wvq_ prefix, carries literal help text, and each name
+# has one kind, one help string, and one call site (labeled variants of one
+# series excepted).
+metric-lint:
+	$(GO) run ./tools/metriclint .
 
 build:
 	$(GO) build ./...

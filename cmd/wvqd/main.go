@@ -67,9 +67,15 @@ func main() {
 		planCache    = flag.Int("plan-cache", 0, "prepared plans held in the registry (0 = default 256)")
 		maxPrepared  = flag.Int("max-prepared-per-tenant", 0, "prepared plans one tenant may hold (0 = default 32, negative = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
-		pprofAddr    = flag.String("pprof", "", "serve pprof, /metrics and /debug/traces on this address (empty = disabled)")
+		pprofAddr    = flag.String("pprof", "", "serve pprof, /metrics, /debug/traces and /debug/profiles on this address (empty = disabled)")
 		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+
+		// Diagnostics: -slow-query arms per-request EXPLAIN ANALYZE profiling
+		// and logs any request whose wall time reaches the threshold;
+		// -profile-ring sizes the /debug/profiles ring of retained profiles.
+		slowQuery   = flag.Duration("slow-query", 0, "log an EXPLAIN ANALYZE profile for requests at or above this duration (0 = disabled)")
+		profileRing = flag.Int("profile-ring", 0, "finished profiles retained for /debug/profiles (0 = default 64)")
 
 		// Robustness: retry policy over the store's fallible path, and a
 		// deterministic chaos injector underneath it for resilience drills.
@@ -123,6 +129,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wvqd: -layout is a local serving mode; it cannot be combined with -shard-listen or -shards")
 		os.Exit(1)
 	}
+	if *slowQuery < 0 {
+		fmt.Fprintln(os.Stderr, "wvqd: -slow-query must be non-negative")
+		os.Exit(1)
+	}
+	if *profileRing < 0 {
+		fmt.Fprintln(os.Stderr, "wvqd: -profile-ring must be non-negative")
+		os.Exit(1)
+	}
+	// A shard server answers retrieval frames, not queries: there is nothing
+	// to profile at that granularity there.
+	if *shardListen != "" && (*slowQuery != 0 || *profileRing != 0) {
+		fmt.Fprintln(os.Stderr, "wvqd: -slow-query/-profile-ring only apply to query-serving modes, not -shard-listen")
+		os.Exit(1)
+	}
 	if *shardListen == "" && (*shardIndex != 0 || *shardCount != 0) {
 		fmt.Fprintln(os.Stderr, "wvqd: -shard-index/-shard-count only apply with -shard-listen")
 		os.Exit(1)
@@ -151,7 +171,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wvqd: -shard-index %d out of range [0,%d)\n", *shardIndex, *shardCount)
 			os.Exit(1)
 		}
-		if err := runShard(*dbPath, *shardListen, *shardIndex, *shardCount, log); err != nil {
+		if err := runShard(*dbPath, *shardListen, *shardIndex, *shardCount, *pprofAddr, log); err != nil {
 			log.Error("exiting", "error", err)
 			os.Exit(1)
 		}
@@ -180,7 +200,9 @@ func main() {
 			Workers:              *workers,
 			MaxPreparedPerTenant: *maxPrepared,
 		},
-		PlanCache: *planCache,
+		PlanCache:   *planCache,
+		SlowQuery:   *slowQuery,
+		ProfileRing: *profileRing,
 	}
 	robust := robustConfig{
 		retry: repro.RetryConfig{
@@ -352,7 +374,8 @@ func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust
 			log.Info("debug listener on",
 				"pprof", "http://"+pprofAddr+"/debug/pprof/",
 				"metrics", "http://"+pprofAddr+"/metrics",
-				"traces", "http://"+pprofAddr+"/debug/traces")
+				"traces", "http://"+pprofAddr+"/debug/traces",
+				"profiles", "http://"+pprofAddr+"/debug/profiles")
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Error("debug listener failed", "error", err)
 			}
@@ -386,8 +409,11 @@ func run(dbPath, layoutPath, addr, pprofAddr string, opts server.Options, robust
 // runShard serves one coefficient shard over TCP: the daemon's shard-server
 // mode. The database file is loaded, its partition for (index, count)
 // extracted, and everything else about the file is dropped; shutdown reuses
-// the daemon's signal path — stop accepting, sever connections, exit.
-func runShard(dbPath, listen string, index, count int, log *slog.Logger) error {
+// the daemon's signal path — stop accepting, sever connections, exit. The
+// shard keeps its own span ring: request frames carrying a coordinator trace
+// context (wire v2) record shard-side spans under the coordinator's request
+// ID, served at /debug/traces on the -pprof listener.
+func runShard(dbPath, listen string, index, count int, pprofAddr string, log *slog.Logger) error {
 	f, err := os.Open(dbPath)
 	if err != nil {
 		return fmt.Errorf("opening database (create one with wvload or wvq -create): %w", err)
@@ -400,6 +426,21 @@ func runShard(dbPath, listen string, index, count int, log *slog.Logger) error {
 	ss, err := db.NewShardServer(index, count, log)
 	if err != nil {
 		return err
+	}
+	o := obs.NewObserver()
+	o.Log = log
+	ss.ObserveSpans(o.Spans)
+	if pprofAddr != "" {
+		debugSrv := newDebugServer(pprofAddr, o)
+		defer debugSrv.Close()
+		go func() {
+			log.Info("debug listener on",
+				"pprof", "http://"+pprofAddr+"/debug/pprof/",
+				"traces", "http://"+pprofAddr+"/debug/traces")
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
 	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
@@ -442,5 +483,6 @@ func newDebugServer(addr string, o *obs.Observer) *http.Server {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/metrics", o.MetricsHandler())
 	mux.Handle("/debug/traces", o.TracesHandler())
+	mux.Handle("/debug/profiles", o.ProfilesHandler())
 	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 }

@@ -18,12 +18,29 @@ package codec
 //	magic "WVDW"  4 bytes
 //	version uint16
 //
+// The preamble doubles as version negotiation: the client announces the
+// highest version it speaks, the server replies with min(client, server),
+// and both sides then frame at the reply's version. Version 1 is the
+// original protocol; version 2 adds a diagnostics extension between the
+// frame header and the body (see below) and changes nothing else.
+//
 // Frame (all integers little-endian):
 //
 //	length  uint32            payload bytes after this word
 //	type    uint8
 //	id      uint64            request id, echoed by the response
+//	ext     ...               version ≥ 2 only, see below
 //	body    ...               per-type, see below
+//
+// Extension (version ≥ 2). Request frames (BatchGetReq, MetaReq) carry the
+// coordinator's trace context so shard-side spans join the query's trace:
+//
+//	trace   uvarint length + bytes   request ID ("" = untraced)
+//
+// Response frames (BatchGetResp, MetaResp, Error) echo the shard's serve
+// time so the coordinator can split wall time into network and shard work:
+//
+//	elapsed uvarint                  shard-side nanoseconds
 //
 // Bodies:
 //
@@ -59,38 +76,67 @@ const (
 )
 
 const (
-	wireMagic   = "WVDW"
-	wireVersion = 1
+	wireMagic = "WVDW"
+
+	// MinWireVersion..MaxWireVersion is the negotiable range. Version 1 is
+	// the original framing; version 2 adds the diagnostics extension (trace
+	// context on requests, shard elapsed time on responses).
+	MinWireVersion uint16 = 1
+	MaxWireVersion uint16 = 2
 
 	// MaxFramePayload bounds one frame's payload; a peer announcing more is
 	// malformed (or hostile) and the connection is dropped.
 	MaxFramePayload = 64 << 20
 	// MaxBatchKeys bounds the keys of one BatchGet frame.
 	MaxBatchKeys = 1 << 22
+	// MaxTraceLen bounds the trace-context extension of a v2 request frame;
+	// writers truncate to it, readers reject beyond it.
+	MaxTraceLen = 128
 )
 
-// WriteHandshake sends the connection preamble.
-func WriteHandshake(w io.Writer) error {
+// WriteHandshake sends the connection preamble announcing version.
+func WriteHandshake(w io.Writer, version uint16) error {
+	if version < MinWireVersion || version > MaxWireVersion {
+		return fmt.Errorf("codec: cannot announce wire version %d (speak %d..%d)",
+			version, MinWireVersion, MaxWireVersion)
+	}
 	var buf [6]byte
 	copy(buf[:4], wireMagic)
-	binary.LittleEndian.PutUint16(buf[4:], wireVersion)
+	binary.LittleEndian.PutUint16(buf[4:], version)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-// ReadHandshake reads and validates the peer's preamble.
-func ReadHandshake(r io.Reader) error {
+// ReadHandshake reads and validates the peer's preamble, returning the
+// version the peer announced. A version beyond MaxWireVersion is not an
+// error here: a server clamps it via NegotiateVersion, and a client treats
+// a reply above its own announcement as a protocol violation itself.
+func ReadHandshake(r io.Reader) (uint16, error) {
 	var buf [6]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return fmt.Errorf("codec: reading wire handshake: %w", err)
+		return 0, fmt.Errorf("codec: reading wire handshake: %w", err)
 	}
 	if string(buf[:4]) != wireMagic {
-		return fmt.Errorf("codec: bad wire magic %q", buf[:4])
+		return 0, fmt.Errorf("codec: bad wire magic %q", buf[:4])
 	}
-	if v := binary.LittleEndian.Uint16(buf[4:]); v != wireVersion {
-		return fmt.Errorf("codec: unsupported wire version %d (want %d)", v, wireVersion)
+	v := binary.LittleEndian.Uint16(buf[4:])
+	if v < MinWireVersion {
+		return 0, fmt.Errorf("codec: unsupported wire version %d (want ≥ %d)", v, MinWireVersion)
 	}
-	return nil
+	return v, nil
+}
+
+// NegotiateVersion clamps a peer's announced version to what this build
+// speaks: the connection runs at min(peer, max), where max is the highest
+// version the caller is willing to use (0 means MaxWireVersion).
+func NegotiateVersion(peer, max uint16) uint16 {
+	if max == 0 || max > MaxWireVersion {
+		max = MaxWireVersion
+	}
+	if peer < max {
+		return peer
+	}
+	return max
 }
 
 // WireError is one failed position of a batched retrieval as it travels the
@@ -101,11 +147,21 @@ type WireError struct {
 	Msg   string
 }
 
-// WireFrame is one decoded frame: its type, request id, and undecoded body.
+// WireFrame is one decoded frame: its type, request id, diagnostics
+// extension (version ≥ 2 connections only), and undecoded body.
 type WireFrame struct {
 	Type byte
 	ID   uint64
-	body []byte
+	// Trace is the request ID carried by a v2 request frame ("" when the
+	// connection is v1 or the caller sent none).
+	Trace string
+	// ElapsedNanos is the shard-side serve time echoed by a v2 response
+	// frame (0 when the connection is v1).
+	ElapsedNanos uint64
+	// WireSize is the frame's full encoded size in bytes, length word
+	// included — the coordinator's per-shard bytes accounting.
+	WireSize int
+	body     []byte
 }
 
 // frameBuf accumulates a frame payload (type + id + body) before the length
@@ -146,12 +202,40 @@ func (f *frameBuf) flush(w io.Writer) error {
 	return err
 }
 
-// WriteBatchGetReq sends a batched-retrieval request for keys.
+// reqExt appends the v2 request extension (trace context) when the
+// connection version carries one. Overlong traces are truncated, not
+// rejected — the trace is diagnostic, never semantic.
+func (f *frameBuf) reqExt(version uint16, trace string) {
+	if version < 2 {
+		return
+	}
+	if len(trace) > MaxTraceLen {
+		trace = trace[:MaxTraceLen]
+	}
+	f.str(trace)
+}
+
+// respExt appends the v2 response extension (shard elapsed nanoseconds).
+func (f *frameBuf) respExt(version uint16, elapsed uint64) {
+	if version >= 2 {
+		f.uvarint(elapsed)
+	}
+}
+
+// WriteBatchGetReq sends a batched-retrieval request for keys at wire
+// version 1 (no trace context).
 func WriteBatchGetReq(w io.Writer, id uint64, keys []int) error {
+	return WriteBatchGetReqV(w, 1, id, "", keys)
+}
+
+// WriteBatchGetReqV sends a batched-retrieval request for keys, carrying
+// trace as the v2 trace-context extension when version supports it.
+func WriteBatchGetReqV(w io.Writer, version uint16, id uint64, trace string, keys []int) error {
 	if len(keys) > MaxBatchKeys {
 		return fmt.Errorf("codec: batch of %d keys exceeds limit %d", len(keys), MaxBatchKeys)
 	}
-	f := newFrameBuf(FrameBatchGetReq, id, len(keys)*2+8)
+	f := newFrameBuf(FrameBatchGetReq, id, len(keys)*2+len(trace)+8)
+	f.reqExt(version, trace)
 	f.uvarint(uint64(len(keys)))
 	prev := 0
 	for _, k := range keys {
@@ -161,11 +245,19 @@ func WriteBatchGetReq(w io.Writer, id uint64, keys []int) error {
 	return f.flush(w)
 }
 
-// WriteBatchGetResp sends the response to a batched retrieval: values[i]
-// answers keys[i] of the request, failed lists the positions that did not
-// resolve (their values are ignored) in ascending index order.
+// WriteBatchGetResp sends the response to a batched retrieval at wire
+// version 1: values[i] answers keys[i] of the request, failed lists the
+// positions that did not resolve (their values are ignored) in ascending
+// index order.
 func WriteBatchGetResp(w io.Writer, id uint64, values []float64, failed []WireError) error {
+	return WriteBatchGetRespV(w, 1, id, 0, values, failed)
+}
+
+// WriteBatchGetRespV is WriteBatchGetResp carrying the shard's serve time
+// as the v2 elapsed extension when version supports it.
+func WriteBatchGetRespV(w io.Writer, version uint16, id uint64, elapsed uint64, values []float64, failed []WireError) error {
 	f := newFrameBuf(FrameBatchGetResp, id, len(values)*8+16)
+	f.respExt(version, elapsed)
 	f.uvarint(uint64(len(values)))
 	for _, v := range values {
 		f.float64(v)
@@ -178,9 +270,17 @@ func WriteBatchGetResp(w io.Writer, id uint64, values []float64, failed []WireEr
 	return f.flush(w)
 }
 
-// WriteMetaReq sends a shard-metadata request.
+// WriteMetaReq sends a shard-metadata request at wire version 1.
 func WriteMetaReq(w io.Writer, id uint64) error {
-	return newFrameBuf(FrameMetaReq, id, 0).flush(w)
+	return WriteMetaReqV(w, 1, id, "")
+}
+
+// WriteMetaReqV sends a shard-metadata request, carrying trace as the v2
+// trace-context extension when version supports it.
+func WriteMetaReqV(w io.Writer, version uint16, id uint64, trace string) error {
+	f := newFrameBuf(FrameMetaReq, id, len(trace)+2)
+	f.reqExt(version, trace)
+	return f.flush(w)
 }
 
 // ShardMeta is a shard server's self-description: the view it partitions
@@ -201,8 +301,14 @@ type ShardMeta struct {
 	Mass       float64
 }
 
-// WriteMetaResp sends a shard's metadata.
+// WriteMetaResp sends a shard's metadata at wire version 1.
 func WriteMetaResp(w io.Writer, id uint64, m *ShardMeta) error {
+	return WriteMetaRespV(w, 1, id, 0, m)
+}
+
+// WriteMetaRespV is WriteMetaResp carrying the shard's serve time as the
+// v2 elapsed extension when version supports it.
+func WriteMetaRespV(w io.Writer, version uint16, id uint64, elapsed uint64, m *ShardMeta) error {
 	if len(m.Names) != len(m.Sizes) {
 		return fmt.Errorf("codec: meta has %d names for %d sizes", len(m.Names), len(m.Sizes))
 	}
@@ -213,6 +319,7 @@ func WriteMetaResp(w io.Writer, id uint64, m *ShardMeta) error {
 		return fmt.Errorf("codec: too many dimensions")
 	}
 	f := newFrameBuf(FrameMetaResp, id, 64+len(m.Names)*32)
+	f.respExt(version, elapsed)
 	f.uint16(uint16(len(m.Names)))
 	for i, name := range m.Names {
 		f.str(name)
@@ -239,18 +346,32 @@ func WriteMetaResp(w io.Writer, id uint64, m *ShardMeta) error {
 	return f.flush(w)
 }
 
-// WriteErrorFrame reports the total failure of a request: no position of the
-// batch may be trusted.
+// WriteErrorFrame reports the total failure of a request at wire version 1:
+// no position of the batch may be trusted.
 func WriteErrorFrame(w io.Writer, id uint64, msg string) error {
-	f := newFrameBuf(FrameError, id, len(msg)+4)
+	return WriteErrorFrameV(w, 1, id, 0, msg)
+}
+
+// WriteErrorFrameV is WriteErrorFrame carrying the shard's serve time as
+// the v2 elapsed extension when version supports it.
+func WriteErrorFrameV(w io.Writer, version uint16, id uint64, elapsed uint64, msg string) error {
+	f := newFrameBuf(FrameError, id, len(msg)+8)
+	f.respExt(version, elapsed)
 	f.str(msg)
 	return f.flush(w)
 }
 
-// ReadFrame reads one frame. It validates the length word against
-// MaxFramePayload before allocating; body decoding happens in the typed
-// accessors so a reader loop can dispatch on Type first.
+// ReadFrame reads one frame at wire version 1.
 func ReadFrame(r io.Reader) (*WireFrame, error) {
+	return ReadFrameVersion(r, 1)
+}
+
+// ReadFrameVersion reads one frame at the connection's negotiated version.
+// It validates the length word against MaxFramePayload before allocating
+// and strips the v2 diagnostics extension into the frame's Trace /
+// ElapsedNanos fields; body decoding happens in the typed accessors so a
+// reader loop can dispatch on Type first.
+func ReadFrameVersion(r io.Reader, version uint16) (*WireFrame, error) {
 	var head [4]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, err
@@ -266,11 +387,34 @@ func ReadFrame(r io.Reader) (*WireFrame, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("codec: reading frame payload: %w", err)
 	}
-	return &WireFrame{
-		Type: payload[0],
-		ID:   binary.LittleEndian.Uint64(payload[1:9]),
-		body: payload[9:],
-	}, nil
+	f := &WireFrame{
+		Type:     payload[0],
+		ID:       binary.LittleEndian.Uint64(payload[1:9]),
+		WireSize: 4 + int(n),
+		body:     payload[9:],
+	}
+	if version >= 2 {
+		wr := &wireReader{b: f.body}
+		switch f.Type {
+		case FrameBatchGetReq, FrameMetaReq:
+			trace, err := wr.str(MaxTraceLen)
+			if err != nil {
+				return nil, fmt.Errorf("codec: frame trace extension: %w", err)
+			}
+			f.Trace = trace
+		case FrameBatchGetResp, FrameMetaResp, FrameError:
+			elapsed, err := wr.uvarint()
+			if err != nil {
+				return nil, fmt.Errorf("codec: frame elapsed extension: %w", err)
+			}
+			f.ElapsedNanos = elapsed
+		default:
+			// Unknown type: leave the body whole so the peer's error reply
+			// ("unknown frame type") is still possible.
+		}
+		f.body = wr.b
+	}
+	return f, nil
 }
 
 // wireReader decodes a frame body sequentially.

@@ -10,24 +10,156 @@ import (
 )
 
 func TestWireHandshakeRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteHandshake(&buf); err != nil {
-		t.Fatal(err)
+	for v := MinWireVersion; v <= MaxWireVersion; v++ {
+		var buf bytes.Buffer
+		if err := WriteHandshake(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadHandshake(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("announced %d, read %d", v, got)
+		}
 	}
-	if err := ReadHandshake(&buf); err != nil {
-		t.Fatal(err)
+	// Versions outside the speakable range cannot be announced.
+	var buf bytes.Buffer
+	if err := WriteHandshake(&buf, 0); err == nil {
+		t.Fatal("version 0 announced")
+	}
+	if err := WriteHandshake(&buf, MaxWireVersion+1); err == nil {
+		t.Fatal("future version announced")
 	}
 	// Wrong magic.
-	if err := ReadHandshake(strings.NewReader("XXXX\x01\x00")); err == nil {
+	if _, err := ReadHandshake(strings.NewReader("XXXX\x01\x00")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	// Wrong version.
-	if err := ReadHandshake(strings.NewReader(wireMagic + "\x7f\x00")); err == nil {
-		t.Fatal("bad version accepted")
+	// Version 0 is malformed.
+	if _, err := ReadHandshake(strings.NewReader(wireMagic + "\x00\x00")); err == nil {
+		t.Fatal("version 0 accepted")
+	}
+	// A future version is readable (negotiation clamps it), not an error.
+	if v, err := ReadHandshake(strings.NewReader(wireMagic + "\x7f\x00")); err != nil || v != 0x7f {
+		t.Fatalf("future version: v=%d err=%v", v, err)
 	}
 	// Truncation.
-	if err := ReadHandshake(strings.NewReader("WV")); err == nil {
+	if _, err := ReadHandshake(strings.NewReader("WV")); err == nil {
 		t.Fatal("truncated handshake accepted")
+	}
+}
+
+func TestNegotiateVersion(t *testing.T) {
+	cases := []struct{ peer, max, want uint16 }{
+		{1, 0, 1},               // v1 peer clamps a v2 server down
+		{2, 0, 2},               // both sides current
+		{99, 0, MaxWireVersion}, // future peer clamps to what we speak
+		{2, 1, 1},               // locally capped (no-trace mode)
+		{1, 1, 1},
+		{99, 7, MaxWireVersion}, // local cap beyond our ceiling is clamped too
+	}
+	for _, c := range cases {
+		if got := NegotiateVersion(c.peer, c.max); got != c.want {
+			t.Fatalf("NegotiateVersion(%d, %d) = %d, want %d", c.peer, c.max, got, c.want)
+		}
+	}
+}
+
+func TestWireV2Extensions(t *testing.T) {
+	// Request frames carry the trace; response frames carry elapsed time.
+	keys := []int{3, 1, 4, 1, 5}
+	var buf bytes.Buffer
+	if err := WriteBatchGetReqV(&buf, 2, 11, "req-abc123", keys); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Len()
+	f, err := ReadFrameVersion(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trace != "req-abc123" || f.ElapsedNanos != 0 {
+		t.Fatalf("req ext mangled: trace=%q elapsed=%d", f.Trace, f.ElapsedNanos)
+	}
+	if f.WireSize != wire {
+		t.Fatalf("WireSize=%d, wrote %d bytes", f.WireSize, wire)
+	}
+	got, err := f.BatchGetReq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("key %d: got %d want %d", i, got[i], keys[i])
+		}
+	}
+
+	buf.Reset()
+	vals := []float64{1.5, math.Pi}
+	if err := WriteBatchGetRespV(&buf, 2, 11, 987654321, vals, []WireError{{Index: 1, Msg: "boom"}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadFrameVersion(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ElapsedNanos != 987654321 || f.Trace != "" {
+		t.Fatalf("resp ext mangled: trace=%q elapsed=%d", f.Trace, f.ElapsedNanos)
+	}
+	gv, gf, err := f.BatchGetResp(len(vals))
+	if err != nil || gv[0] != 1.5 || len(gf) != 1 || gf[0].Msg != "boom" {
+		t.Fatalf("v2 resp body mangled: vals=%v failed=%v err=%v", gv, gf, err)
+	}
+
+	// Meta and Error frames too.
+	buf.Reset()
+	if err := WriteMetaReqV(&buf, 2, 12, "req-meta"); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = ReadFrameVersion(&buf, 2); err != nil || f.Trace != "req-meta" {
+		t.Fatalf("meta req ext: trace=%q err=%v", f.Trace, err)
+	}
+	buf.Reset()
+	if err := WriteErrorFrameV(&buf, 2, 13, 42, "down"); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadFrameVersion(&buf, 2)
+	if err != nil || f.ElapsedNanos != 42 {
+		t.Fatalf("error ext: elapsed=%d err=%v", f.ElapsedNanos, err)
+	}
+	if msg, err := f.ErrorMsg(); err != nil || msg != "down" {
+		t.Fatalf("error msg: %q err=%v", msg, err)
+	}
+
+	// An overlong trace is truncated, not rejected.
+	buf.Reset()
+	long := strings.Repeat("x", MaxTraceLen+50)
+	if err := WriteBatchGetReqV(&buf, 2, 14, long, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = ReadFrameVersion(&buf, 2); err != nil || len(f.Trace) != MaxTraceLen {
+		t.Fatalf("overlong trace: len=%d err=%v", len(f.Trace), err)
+	}
+}
+
+func TestWireV1FramesUnchangedByV2Code(t *testing.T) {
+	// The v1 writers must produce byte-identical frames to the versioned
+	// writers at version 1 — old peers see exactly the old protocol.
+	var a, b bytes.Buffer
+	if err := WriteBatchGetReq(&a, 5, []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBatchGetReqV(&b, 1, 5, "ignored-at-v1", []int{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("v1 framing changed by versioned writer")
+	}
+	f, err := ReadFrame(&a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Trace != "" || f.ElapsedNanos != 0 {
+		t.Fatalf("v1 frame grew extensions: trace=%q elapsed=%d", f.Trace, f.ElapsedNanos)
 	}
 }
 

@@ -268,6 +268,10 @@ type Run struct {
 	// calls and therefore inlinable — the 1-alloc run setup depends on it.
 	trace     *obs.RunTrace
 	traceMass float64
+	// profile, when attached, receives the run's EXPLAIN ANALYZE rows: one
+	// StepProfile per StepBatchCtx. Nil (the default) costs one nil check
+	// per batch, preserving the 0-extra-alloc off path.
+	profile *obs.QueryProfile
 }
 
 // NewRun prepares a progressive run: it looks up (or builds once) the

@@ -145,9 +145,10 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 	}
 	m := coObs()
 	var start time.Time
-	if m != nil {
+	if m != nil || r.profile != nil {
 		start = time.Now()
 	}
+	skippedBefore := len(r.skipped)
 	ctx, sp := obs.StartSpan(ctx, "core.run.stepbatch")
 	if sp != nil {
 		sp.SetAttr("batch", strconv.Itoa(b))
@@ -178,7 +179,7 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 				r.markSkipped(r.cursor + j)
 			}
 			r.cursor += b
-			r.finishStepBatch(m, start)
+			r.finishStepBatch(m, start, b, skippedBefore)
 			return b, nil
 		}
 	}
@@ -198,18 +199,25 @@ func (r *Run) StepBatchCtx(ctx context.Context, b int) (int, error) {
 		}
 	}
 	r.cursor += b
-	r.finishStepBatch(m, start)
+	r.finishStepBatch(m, start, b, skippedBefore)
 	return b, nil
 }
 
 // finishStepBatch is StepBatchCtx's shared exit instrumentation: batch
-// latency plus a trace sample.
-func (r *Run) finishStepBatch(m *coreMetrics, start time.Time) {
+// latency, a trace sample, and an EXPLAIN ANALYZE step row.
+func (r *Run) finishStepBatch(m *coreMetrics, start time.Time, b, skippedBefore int) {
 	if m != nil {
 		m.stepBatchSeconds.Observe(time.Since(start).Seconds())
 	}
 	if r.trace != nil {
 		r.traceStep()
+	}
+	if r.profile != nil {
+		var bound float64
+		if r.trace != nil {
+			bound = r.WorstCaseBound(r.traceMass)
+		}
+		r.profile.RecordStep(b, r.cursor, len(r.skipped)-skippedBefore, time.Since(start), bound)
 	}
 }
 

@@ -84,6 +84,14 @@ func (r *Run) AttachTrace(t *obs.RunTrace, coefficientMass float64) {
 	r.traceStep()
 }
 
+// AttachProfile points the run at an EXPLAIN ANALYZE profile: every
+// StepBatchCtx records one StepProfile row (batch size, cumulative
+// retrieved, skips, wall time, and the bound when a trace is attached
+// too). A nil profile detaches; the off path pays one nil check per batch.
+func (r *Run) AttachProfile(p *obs.QueryProfile) {
+	r.profile = p
+}
+
 // traceStep samples the attached trace after an advance; a run with no
 // trace pays one nil-check.
 func (r *Run) traceStep() {

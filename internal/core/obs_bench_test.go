@@ -8,6 +8,7 @@ package core
 // tracing, and with the full instrumented store stack.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/obs"
@@ -68,6 +69,61 @@ func BenchmarkObsTracedDrain(b *testing.B) {
 		run.AttachTrace(sink.Start("bench", ""), mass)
 		for run.StepBatch(256) > 0 {
 		}
+	}
+}
+
+// BenchmarkObsProfileOffDrain is the scheduler-shaped StepBatchCtx drain
+// with profiling compiled in but no profile attached: the EXPLAIN ANALYZE
+// off path. Its cost over the plain drain must be the per-batch nil checks
+// only — zero extra allocations (the acceptance bar of the diagnostics
+// layer).
+func BenchmarkObsProfileOffDrain(b *testing.B) {
+	Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run := NewRun(f.plan, pen, f.store)
+		for {
+			n, err := run.StepBatchCtx(ctx, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkObsProfiledDrain is the same drain with a QueryProfile attached
+// and carried in the context — the ?explain=1 configuration: one step row,
+// one clock read pair, and one mutex round per 256-entry batch.
+func BenchmarkObsProfiledDrain(b *testing.B) {
+	Observe(nil)
+	f := newBenchPlanFixture(b)
+	pen := penalty.SSE{}
+	f.plan.ScheduleFor(pen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof := obs.NewQueryProfile("bench", "")
+		ctx := obs.WithProfile(context.Background(), prof)
+		run := NewRun(f.plan, pen, f.store)
+		run.AttachProfile(prof)
+		for {
+			n, err := run.StepBatchCtx(ctx, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+		}
+		prof.Finish()
 	}
 }
 

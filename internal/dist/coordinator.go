@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -86,6 +87,19 @@ func NewCoordinator(shards []storage.FallibleStore, addrs []string) (*Coordinato
 // ShardCount returns the number of shards fanned out to.
 func (c *CoordinatorStore) ShardCount() int { return len(c.shards) }
 
+// WireVersions reports each shard client's negotiated wire version: 0 for
+// in-process shards or clients that never connected, ≥ 2 when trace
+// propagation is active on the link. The /stats diagnostics section.
+func (c *CoordinatorStore) WireVersions() []uint16 {
+	out := make([]uint16, len(c.shards))
+	for i, sh := range c.shards {
+		if rs, ok := sh.(*RemoteStore); ok {
+			out[i] = rs.NegotiatedVersion()
+		}
+	}
+	return out
+}
+
 // Health snapshots every shard's ledger.
 func (c *CoordinatorStore) Health() []ShardHealth {
 	out := make([]ShardHealth, len(c.shards))
@@ -145,6 +159,7 @@ func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []fl
 	}
 	c.retrievals.Add(int64(len(keys)))
 	start := time.Now()
+	prof := obs.ProfileFrom(ctx)
 
 	n := len(c.shards)
 	// Group the caller's positions by owning shard.
@@ -166,6 +181,7 @@ func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []fl
 		wg.Add(1)
 		go func(si int, pos []int) {
 			defer wg.Done()
+			subStart := time.Now()
 			subKeys := make([]int, len(pos))
 			subDst := make([]float64, len(pos))
 			for j, p := range pos {
@@ -179,6 +195,7 @@ func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []fl
 			switch {
 			case err == nil:
 				c.noteOK(si, len(pos))
+				prof.AddShard(si, c.addrs[si], len(pos), time.Since(subStart), 0, 0)
 			case errors.As(err, &be):
 				// Partial failure: unlisted positions hold valid values;
 				// remap the listed ones to the caller's indices.
@@ -188,6 +205,7 @@ func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []fl
 				}
 				failed[si] = kes
 				c.noteErr(si, len(pos), len(kes), err)
+				prof.AddShard(si, c.addrs[si], len(pos), time.Since(subStart), len(kes), 0)
 			default:
 				// Whole sub-batch untrusted (shard dead, hung, protocol
 				// violation): every key of this shard degrades.
@@ -198,6 +216,7 @@ func (c *CoordinatorStore) BatchGetCtx(ctx context.Context, keys []int, dst []fl
 				}
 				failed[si] = kes
 				c.noteErr(si, len(pos), len(kes), err)
+				prof.AddShard(si, c.addrs[si], len(pos), time.Since(subStart), len(kes), len(kes))
 			}
 		}(si, pos)
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -28,6 +29,11 @@ type ClientConfig struct {
 	// beyond the pool dial extra connections and discard them afterwards.
 	// 0 means the default of 4.
 	PoolSize int
+	// MaxWireVersion caps the wire version this client announces in the
+	// handshake. 0 means codec.MaxWireVersion; set 1 to speak the original
+	// no-trace protocol (interop testing, or trimming the per-frame trace
+	// bytes).
+	MaxWireVersion uint16
 }
 
 // normalized returns cfg with defaults applied.
@@ -41,13 +47,18 @@ func (cfg ClientConfig) normalized() ClientConfig {
 	if cfg.PoolSize <= 0 {
 		cfg.PoolSize = 4
 	}
+	if cfg.MaxWireVersion == 0 || cfg.MaxWireVersion > codec.MaxWireVersion {
+		cfg.MaxWireVersion = codec.MaxWireVersion
+	}
 	return cfg
 }
 
-// remoteConn is one pooled connection with its buffered reader.
+// remoteConn is one pooled connection with its buffered reader and the wire
+// version negotiated on it.
 type remoteConn struct {
-	conn net.Conn
-	br   *bufio.Reader
+	conn    net.Conn
+	br      *bufio.Reader
+	version uint16
 }
 
 // RemoteStore is the client of one shard server: a storage.FallibleStore
@@ -63,13 +74,16 @@ type remoteConn struct {
 // failures and panics on them; engine paths that can degrade use the
 // fallible surface, which is the only one the coordinator calls.
 type RemoteStore struct {
-	addr string
-	cfg  ClientConfig
-	pool chan *remoteConn
+	addr  string
+	cfg   ClientConfig
+	pool  chan *remoteConn
 	reqID atomic.Uint64
 
 	retrievals atomic.Int64
 	closed     atomic.Bool
+	// negotiated is the wire version of the most recent handshake (0 until
+	// the first connection) — the /stats trace-propagation diagnostic.
+	negotiated atomic.Uint32
 }
 
 // NewRemoteStore returns a client for the shard at addr. No connection is
@@ -85,6 +99,11 @@ func NewRemoteStore(addr string, cfg ClientConfig) *RemoteStore {
 
 // Addr returns the shard address this store talks to.
 func (s *RemoteStore) Addr() string { return s.addr }
+
+// NegotiatedVersion returns the wire version of the most recent handshake
+// with the shard, or 0 before any connection succeeded. Version ≥ 2 means
+// trace propagation is active on the link.
+func (s *RemoteStore) NegotiatedVersion() uint16 { return uint16(s.negotiated.Load()) }
 
 // Close drains and closes the pooled connections. Requests after Close fail.
 func (s *RemoteStore) Close() error {
@@ -112,17 +131,26 @@ func (s *RemoteStore) acquire(ctx context.Context) (*remoteConn, error) {
 		return nil, err
 	}
 	// Handshake under the dial timeout: a listener that accepts but never
-	// speaks must not hang the caller.
+	// speaks must not hang the caller. The client announces the highest
+	// version it speaks; the server replies with the connection's version
+	// (min of both sides), which every frame on this connection then uses.
 	_ = conn.SetDeadline(time.Now().Add(s.cfg.DialTimeout))
 	rc := &remoteConn{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
-	if err := codec.WriteHandshake(conn); err != nil {
+	if err := codec.WriteHandshake(conn, s.cfg.MaxWireVersion); err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("handshake: %w", err)
 	}
-	if err := codec.ReadHandshake(rc.br); err != nil {
+	ver, err := codec.ReadHandshake(rc.br)
+	if err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("handshake: %w", err)
 	}
+	if ver > s.cfg.MaxWireVersion {
+		_ = conn.Close()
+		return nil, fmt.Errorf("handshake: server replied version %d above announced %d", ver, s.cfg.MaxWireVersion)
+	}
+	rc.version = ver
+	s.negotiated.Store(uint32(ver))
 	_ = conn.SetDeadline(time.Time{})
 	return rc, nil
 }
@@ -147,7 +175,7 @@ func (s *RemoteStore) release(rc *remoteConn) {
 // error (matching ErrShard) is returned — unless the caller's context ended,
 // in which case ctx.Err() wins so cancellation is never misread as a shard
 // fault (RetryStore, for one, must not retry it).
-func (s *RemoteStore) roundTrip(ctx context.Context, write func(conn net.Conn, id uint64) error) (*codec.WireFrame, error) {
+func (s *RemoteStore) roundTrip(ctx context.Context, write func(conn net.Conn, version uint16, id uint64) error) (*codec.WireFrame, error) {
 	if s.closed.Load() {
 		return nil, &remoteError{addr: s.addr, msg: "client closed"}
 	}
@@ -179,10 +207,10 @@ func (s *RemoteStore) roundTrip(ctx context.Context, write func(conn net.Conn, i
 	}()
 	id := s.reqID.Add(1)
 	frame, err := func() (*codec.WireFrame, error) {
-		if err := write(rc.conn, id); err != nil {
+		if err := write(rc.conn, rc.version, id); err != nil {
 			return nil, err
 		}
-		return codec.ReadFrame(rc.br)
+		return codec.ReadFrameVersion(rc.br, rc.version)
 	}()
 	close(watchDone)
 	if err != nil {
@@ -214,12 +242,18 @@ func (s *RemoteStore) BatchGetCtx(ctx context.Context, keys []int, dst []float64
 		return nil
 	}
 	s.retrievals.Add(int64(len(keys)))
-	frame, err := s.roundTrip(ctx, func(conn net.Conn, id uint64) error {
-		return codec.WriteBatchGetReq(conn, id, keys)
+	// The request ID rides the v2 frame extension so the shard's spans join
+	// this query's trace; on a v1 connection the writer drops it.
+	trace := obs.RequestID(ctx)
+	frame, err := s.roundTrip(ctx, func(conn net.Conn, version uint16, id uint64) error {
+		return codec.WriteBatchGetReqV(conn, version, id, trace, keys)
 	})
 	if err != nil {
 		return err
 	}
+	// Wire accounting for EXPLAIN ANALYZE: response bytes and the shard's
+	// echoed serve time (0 on v1). No-op without a profile in ctx.
+	obs.ProfileFrom(ctx).AddRemote(s.addr, frame.WireSize, time.Duration(frame.ElapsedNanos))
 	switch frame.Type {
 	case codec.FrameError:
 		msg, err := frame.ErrorMsg()
@@ -266,8 +300,9 @@ func (s *RemoteStore) GetCtx(ctx context.Context, key int) (float64, error) {
 
 // Meta fetches the shard's self-description.
 func (s *RemoteStore) Meta(ctx context.Context) (*codec.ShardMeta, error) {
-	frame, err := s.roundTrip(ctx, func(conn net.Conn, id uint64) error {
-		return codec.WriteMetaReq(conn, id)
+	trace := obs.RequestID(ctx)
+	frame, err := s.roundTrip(ctx, func(conn net.Conn, version uint16, id uint64) error {
+		return codec.WriteMetaReqV(conn, version, id, trace)
 	})
 	if err != nil {
 		return nil, err

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/codec"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -25,6 +28,14 @@ type Server struct {
 	log    *slog.Logger // nil = silent
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// spans, when set, receives shard-side serve spans. A v2 request frame
+	// carries the coordinator's request ID; the span lands in this process's
+	// ring under that ID, so the two processes' /debug/traces join on it.
+	spans *obs.SpanSink
+	// maxVersion caps what the server negotiates (0 = codec.MaxWireVersion;
+	// set 1 to emulate a no-trace peer in interop tests).
+	maxVersion uint16
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -54,6 +65,15 @@ func NewServer(store storage.Store, meta codec.ShardMeta, logger *slog.Logger) *
 
 // Requests returns the number of request frames served.
 func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// SetSpanSink directs shard-side serve spans into sink (nil keeps tracing
+// off). Call before Serve.
+func (s *Server) SetSpanSink(sink *obs.SpanSink) { s.spans = sink }
+
+// SetMaxWireVersion caps the version this server negotiates (0 restores
+// codec.MaxWireVersion). Call before Serve; version 1 makes the server
+// behave as a pre-diagnostics peer.
+func (s *Server) SetMaxWireVersion(v uint16) { s.maxVersion = v }
 
 // Serve accepts connections on ln until Close. It returns nil after Close;
 // any other accept failure is returned as-is.
@@ -125,15 +145,21 @@ func (s *Server) handle(conn net.Conn) {
 	defer s.drop(conn)
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	if err := codec.ReadHandshake(br); err != nil {
+	clientV, err := codec.ReadHandshake(br)
+	if err != nil {
 		s.logWarn("handshake failed", "remote", conn.RemoteAddr().String(), "error", err)
 		return
 	}
-	if err := codec.WriteHandshake(bw); err != nil || bw.Flush() != nil {
+	// Reply with the connection's version: the minimum of what the client
+	// announced and what this server speaks. Every frame on the connection
+	// then uses that version's framing, so a v1 client sees exactly the old
+	// protocol.
+	ver := codec.NegotiateVersion(clientV, s.maxVersion)
+	if err := codec.WriteHandshake(bw, ver); err != nil || bw.Flush() != nil {
 		return
 	}
 	for {
-		frame, err := codec.ReadFrame(br)
+		frame, err := codec.ReadFrameVersion(br, ver)
 		if err != nil {
 			// EOF and reset are the peer leaving; anything else is noise worth
 			// a log line. Either way the connection is done.
@@ -143,7 +169,7 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 		s.requests.Add(1)
-		if err := s.serveFrame(bw, frame); err != nil {
+		if err := s.serveFrame(bw, ver, frame); err != nil {
 			s.errors.Add(1)
 			s.logWarn("writing response failed", "remote", conn.RemoteAddr().String(), "error", err)
 			return
@@ -154,35 +180,51 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// serveFrame answers one request frame on bw (unflushed).
-func (s *Server) serveFrame(bw *bufio.Writer, frame *codec.WireFrame) error {
+// serveFrame answers one request frame on bw (unflushed). On a v2
+// connection the response echoes the serve time, and a request carrying a
+// trace records a span into the server's sink under the coordinator's
+// request ID — the cross-process joint the diagnostics layer pivots on.
+func (s *Server) serveFrame(bw *bufio.Writer, ver uint16, frame *codec.WireFrame) error {
+	start := time.Now()
+	ctx := s.ctx
+	if frame.Trace != "" && s.spans != nil {
+		ctx = obs.WithRequestID(ctx, frame.Trace)
+		ctx = obs.WithTrace(ctx, frame.Trace, s.spans)
+	}
+	elapsed := func() uint64 { return uint64(time.Since(start).Nanoseconds()) }
 	switch frame.Type {
 	case codec.FrameBatchGetReq:
 		keys, err := frame.BatchGetReq()
 		if err != nil {
-			return codec.WriteErrorFrame(bw, frame.ID, "malformed batch: "+err.Error())
+			return codec.WriteErrorFrameV(bw, ver, frame.ID, elapsed(), "malformed batch: "+err.Error())
 		}
+		sctx, span := obs.StartSpan(ctx, "dist.shard.batchget")
+		span.SetAttr("keys", strconv.Itoa(len(keys)))
 		vals := make([]float64, len(keys))
-		err = s.store.BatchGetCtx(s.ctx, keys, vals)
+		err = s.store.BatchGetCtx(sctx, keys, vals)
+		span.SetError(err)
+		span.End()
 		var be *storage.BatchError
 		switch {
 		case err == nil:
-			return codec.WriteBatchGetResp(bw, frame.ID, vals, nil)
+			return codec.WriteBatchGetRespV(bw, ver, frame.ID, elapsed(), vals, nil)
 		case errors.As(err, &be):
 			failed := make([]codec.WireError, len(be.Failed))
 			for i, ke := range be.Failed {
 				failed[i] = codec.WireError{Index: ke.Index, Msg: ke.Err.Error()}
 			}
-			return codec.WriteBatchGetResp(bw, frame.ID, vals, failed)
+			return codec.WriteBatchGetRespV(bw, ver, frame.ID, elapsed(), vals, failed)
 		default:
 			// Whole-batch failure (cancellation, store outage): no position may
 			// be trusted, so the whole request fails.
-			return codec.WriteErrorFrame(bw, frame.ID, err.Error())
+			return codec.WriteErrorFrameV(bw, ver, frame.ID, elapsed(), err.Error())
 		}
 	case codec.FrameMetaReq:
-		return codec.WriteMetaResp(bw, frame.ID, &s.meta)
+		_, span := obs.StartSpan(ctx, "dist.shard.meta")
+		span.End()
+		return codec.WriteMetaRespV(bw, ver, frame.ID, elapsed(), &s.meta)
 	default:
-		return codec.WriteErrorFrame(bw, frame.ID, "unknown frame type")
+		return codec.WriteErrorFrameV(bw, ver, frame.ID, elapsed(), "unknown frame type")
 	}
 }
 

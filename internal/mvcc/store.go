@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wavelet"
 )
@@ -149,7 +150,9 @@ func (v *view) GetCtx(ctx context.Context, key int) (float64, error) {
 // through the overlay unchanged.
 func (v *view) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error {
 	v.retr.Add(int64(len(keys)))
-	return v.resolve(keys, dst, func(subKeys []int, subDst []float64, subIdx []int) error {
+	base := 0
+	err := v.resolve(keys, dst, func(subKeys []int, subDst []float64, subIdx []int) error {
+		base = len(subKeys)
 		err := v.fbase.BatchGetCtx(ctx, subKeys, subDst)
 		var be *storage.BatchError
 		if errors.As(err, &be) {
@@ -161,6 +164,10 @@ func (v *view) BatchGetCtx(ctx context.Context, keys []int, dst []float64) error
 		}
 		return err
 	})
+	// EXPLAIN ANALYZE attribution: keys answered by the snapshot's write
+	// layers vs delegated to the base store. Nil profile = no-op.
+	obs.ProfileFrom(ctx).AddMVCC(len(keys)-base, base)
+	return err
 }
 
 // resolve fills dst from the overlay and hands the overlay misses to fetch

@@ -6,25 +6,27 @@ import (
 	"net/http"
 )
 
-// Observer bundles the four observability facilities — metrics registry,
-// span sink, run-trace sink, and structured logger — so layers take one
-// handle instead of four. Any field may be nil; every consumer treats nil
-// as "off".
+// Observer bundles the observability facilities — metrics registry, span
+// sink, run-trace sink, query-profile sink, and structured logger — so
+// layers take one handle instead of five. Any field may be nil; every
+// consumer treats nil as "off".
 type Observer struct {
 	Registry *Registry
 	Spans    *SpanSink
 	Runs     *RunTraceSink
+	Profiles *ProfileSink
 	Log      *slog.Logger
 }
 
 // NewObserver returns an Observer with a fresh registry, default-capacity
-// span and run-trace sinks, and a discard logger (replace Log to get
-// output).
+// span, run-trace and profile sinks, and a discard logger (replace Log to
+// get output).
 func NewObserver() *Observer {
 	return &Observer{
 		Registry: NewRegistry(),
 		Spans:    NewSpanSink(0),
 		Runs:     NewRunTraceSink(0),
+		Profiles: NewProfileSink(0),
 		Log:      NopLogger(),
 	}
 }
@@ -68,18 +70,41 @@ type TraceDump struct {
 }
 
 // TracesHandler serves the span ring and the run-trace ring as one JSON
-// document (mounted at /debug/traces on the debug listener).
+// document (mounted at /debug/traces on the debug listener). Two optional
+// query parameters narrow the dump — `request_id` keeps spans whose
+// RequestID (and runs whose ID) match exactly, `op` keeps spans whose Name
+// matches exactly; unfiltered, the shape and content are unchanged.
 func (o *Observer) TracesHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if o == nil {
 			http.Error(w, "tracing disabled", http.StatusNotFound)
 			return
 		}
+		reqID := r.URL.Query().Get("request_id")
+		op := r.URL.Query().Get("op")
 		dump := TraceDump{
 			Spans:      o.Spans.Spans(),
 			SpansTotal: o.Spans.Total(),
 			Runs:       o.Runs.Snapshots(),
 			RunsTotal:  o.Runs.Total(),
+		}
+		if reqID != "" || op != "" {
+			kept := dump.Spans[:0]
+			for _, sp := range dump.Spans {
+				if (reqID == "" || sp.RequestID == reqID) && (op == "" || sp.Name == op) {
+					kept = append(kept, sp)
+				}
+			}
+			dump.Spans = kept
+		}
+		if reqID != "" {
+			kept := dump.Runs[:0]
+			for _, rt := range dump.Runs {
+				if rt.ID == reqID {
+					kept = append(kept, rt)
+				}
+			}
+			dump.Runs = kept
 		}
 		if dump.Spans == nil {
 			dump.Spans = []Span{}
@@ -92,6 +117,53 @@ func (o *Observer) TracesHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(dump); err != nil {
 			o.Logger().Warn("trace dump write failed", "err", err)
+		}
+	})
+}
+
+// ProfileDump is the JSON shape served at /debug/profiles.
+type ProfileDump struct {
+	// Profiles is the profile ring, oldest first.
+	Profiles []ProfileSnapshot `json:"profiles"`
+	// ProfilesTotal counts profiles ever recorded, including overwritten
+	// ones; SlowTotal the subset flagged slow.
+	ProfilesTotal uint64 `json:"profiles_total"`
+	SlowTotal     uint64 `json:"slow_total"`
+}
+
+// ProfilesHandler serves the query-profile ring as JSON (mounted at
+// /debug/profiles on the debug listener). `?request_id=` keeps profiles
+// whose ID matches exactly; `?slow=1` keeps only slow-flagged profiles.
+func (o *Observer) ProfilesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if o == nil || o.Profiles == nil {
+			http.Error(w, "profiling disabled", http.StatusNotFound)
+			return
+		}
+		reqID := r.URL.Query().Get("request_id")
+		slowOnly := r.URL.Query().Get("slow") == "1"
+		dump := ProfileDump{
+			Profiles:      o.Profiles.Snapshots(),
+			ProfilesTotal: o.Profiles.Total(),
+			SlowTotal:     o.Profiles.Slow(),
+		}
+		if reqID != "" || slowOnly {
+			kept := dump.Profiles[:0]
+			for _, p := range dump.Profiles {
+				if (reqID == "" || p.ID == reqID) && (!slowOnly || p.Slow) {
+					kept = append(kept, p)
+				}
+			}
+			dump.Profiles = kept
+		}
+		if dump.Profiles == nil {
+			dump.Profiles = []ProfileSnapshot{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(dump); err != nil {
+			o.Logger().Warn("profile dump write failed", "err", err)
 		}
 	})
 }

@@ -27,14 +27,19 @@ type Attr struct {
 
 // Span is one finished span as stored in the sink.
 type Span struct {
-	TraceID  string        `json:"trace_id"`
-	SpanID   uint64        `json:"span_id"`
-	ParentID uint64        `json:"parent_id,omitempty"`
-	Name     string        `json:"name"`
-	Start    time.Time     `json:"start"`
-	Duration time.Duration `json:"duration_ns"`
-	Attrs    []Attr        `json:"attrs,omitempty"`
-	Err      string        `json:"error,omitempty"`
+	TraceID  string `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// RequestID is the request the span served, as a first-class field:
+	// concurrent runs interleave in the ring, and profile assembly and the
+	// /debug/traces?request_id= filter select on it exactly, never by
+	// substring-matching attrs.
+	RequestID string        `json:"request_id,omitempty"`
+	Name      string        `json:"name"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Attrs     []Attr        `json:"attrs,omitempty"`
+	Err       string        `json:"error,omitempty"`
 }
 
 // SpanSink is a fixed-capacity ring buffer of finished spans. Concurrent
@@ -174,11 +179,12 @@ func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) 
 	sp := &ActiveSpan{
 		sink: tc.sink,
 		rec: Span{
-			TraceID:  tc.id,
-			SpanID:   tc.sink.ids.Add(1),
-			ParentID: tc.parent,
-			Name:     name,
-			Start:    time.Now(),
+			TraceID:   tc.id,
+			SpanID:    tc.sink.ids.Add(1),
+			ParentID:  tc.parent,
+			RequestID: RequestID(ctx),
+			Name:      name,
+			Start:     time.Now(),
 		},
 	}
 	child := traceCtx{id: tc.id, sink: tc.sink, parent: sp.rec.SpanID}

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Priority weights a run's slice quantum. Higher priority means more
@@ -191,6 +192,13 @@ type task struct {
 	deficit  int
 	busy     bool
 	finished bool
+
+	// profile/enqueued feed the EXPLAIN ANALYZE queue-delay figure: when the
+	// submission context carries a QueryProfile, the delay between Submit and
+	// the first dispatched slice is charged to it. Both stay zero otherwise.
+	profile  *obs.QueryProfile
+	enqueued time.Time
+	started  bool
 
 	progress chan Progress // latest-wins, consumed by streaming clients
 	done     chan struct{}
@@ -345,6 +353,10 @@ func (s *Scheduler) Submit(ctx context.Context, job Job) (*Ticket, error) {
 		progress: make(chan Progress, 1),
 		done:     make(chan struct{}),
 	}
+	if p := obs.ProfileFrom(ctx); p != nil {
+		t.profile = p
+		t.enqueued = time.Now()
+	}
 	if len(s.ring) < s.cfg.MaxActive {
 		s.ring = append(s.ring, t)
 	} else {
@@ -498,6 +510,12 @@ func (s *Scheduler) pickLocked() (*task, int) {
 		}
 		s.cursor = (j + 1) % len(s.ring)
 		t.busy = true
+		if !t.started {
+			t.started = true
+			if t.profile != nil {
+				t.profile.AddQueueDelay(time.Since(t.enqueued))
+			}
+		}
 		t.deficit += s.cfg.Slice * t.job.Priority.weight()
 		n := t.deficit
 		if rem := t.remaining(); rem >= 0 && n > rem {

@@ -69,6 +69,11 @@ func (h *Handler) Observe(o *obs.Observer) {
 	dist.Observe(reg)
 	mvcc.Observe(reg)
 	h.obs = o
+	if o != nil && h.profileRing > 0 && (o.Profiles == nil || o.Profiles.Capacity() != h.profileRing) {
+		// Options.ProfileRing resizes the observer's /debug/profiles ring;
+		// applied here so the depth is set before any request records into it.
+		o.Profiles = obs.NewProfileSink(h.profileRing)
+	}
 	if reg == nil {
 		h.met = nil
 		return

@@ -58,6 +58,12 @@ type Handler struct {
 	// preparedExecs / adhocExecs count query executions by plan source;
 	// ingestedTuples counts tuple operations applied through POST /ingest.
 	preparedExecs, adhocExecs, ingestedTuples atomic.Int64
+	// slowQuery is the slow-query log threshold (0 disables); profileRing
+	// overrides the observer's /debug/profiles ring depth when positive.
+	// slowQueries counts responses that crossed the threshold.
+	slowQuery   time.Duration
+	profileRing int
+	slowQueries atomic.Int64
 }
 
 // Options configures the handler beyond scheduler sizing.
@@ -67,6 +73,14 @@ type Options struct {
 	// PlanCache bounds the prepared-plan registry; ≤0 selects
 	// repro.DefaultPlanCacheCapacity.
 	PlanCache int
+	// SlowQuery enables the slow-query log: any request whose wall time
+	// reaches the threshold is profiled and emitted as a structured log
+	// record (and flagged in /debug/profiles). 0 disables.
+	SlowQuery time.Duration
+	// ProfileRing overrides the /debug/profiles ring depth (how many
+	// finished profiles the observer retains); ≤0 keeps the observer's
+	// default (obs.DefaultProfileCapacity).
+	ProfileRing int
 }
 
 // New wraps a database in an HTTP handler with default scheduler sizing.
@@ -94,7 +108,8 @@ func NewWithOptions(db *repro.Database, opts Options) *Handler {
 	if err != nil {
 		mass = 0
 	}
-	h := &Handler{db: db, sched: sched.New(opts.Sched), mass: mass}
+	h := &Handler{db: db, sched: sched.New(opts.Sched), mass: mass,
+		slowQuery: opts.SlowQuery, profileRing: opts.ProfileRing}
 	h.registry = db.EnablePreparedPlans(opts.PlanCache)
 	h.quotas = h.sched.PlanQuotas()
 	h.registry.OnEvict(func(_, tenant string) { h.quotas.Release(tenant) })
@@ -152,6 +167,11 @@ type QueryResponse struct {
 	// Skipped counts the coefficients that could not be retrieved.
 	Skipped int           `json:"skipped,omitempty"`
 	Results []QueryResult `json:"results"`
+	// Profile is the EXPLAIN ANALYZE breakdown — plan source and build time,
+	// queue delay, per-StepBatch timings, per-tier retrieval attribution,
+	// per-shard rows and the Theorem-1 bound trajectory. Present only when
+	// the request asked for it with ?explain=1.
+	Profile *obs.ProfileSnapshot `json:"profile,omitempty"`
 }
 
 // StatsResponse is the GET /stats reply.
@@ -185,6 +205,9 @@ type StatsResponse struct {
 	Mvcc *repro.MVCCStats `json:"mvcc,omitempty"`
 	// Ingested counts tuples applied through POST /ingest.
 	Ingested int64 `json:"ingested,omitempty"`
+	// Diagnostics reports the query-diagnostics tier: slow-query counters,
+	// the /debug/profiles ring, and per-shard trace-propagation negotiation.
+	Diagnostics DiagnosticsStats `json:"diagnostics"`
 }
 
 // DistStats is the /stats view of the distributed tier: one health ledger
@@ -197,6 +220,25 @@ type DistStats struct {
 	DegradedKeys int64 `json:"degraded_keys"`
 	// Health is the per-shard ledger: requests, keys, errors, last-seen.
 	Health []repro.ShardHealth `json:"health"`
+}
+
+// DiagnosticsStats is the /stats view of the query-diagnostics tier.
+type DiagnosticsStats struct {
+	// SlowQueries counts responses whose wall time crossed the slow-query
+	// threshold; SlowQueryThresholdMS echoes the threshold (0 = disabled).
+	SlowQueries          int64 `json:"slow_queries"`
+	SlowQueryThresholdMS int64 `json:"slow_query_threshold_ms,omitempty"`
+	// ProfilesRetained / ProfileCapacity / ProfilesTotal describe the
+	// /debug/profiles ring: current depth, bound, and lifetime additions.
+	ProfilesRetained int    `json:"profiles_retained"`
+	ProfileCapacity  int    `json:"profile_capacity"`
+	ProfilesTotal    uint64 `json:"profiles_total"`
+	// ShardWireVersions is the negotiated shard wire-protocol version per
+	// shard (0 = not yet connected); ShardTracePropagation reports whether
+	// that version carries trace contexts and serve-time echoes (v2+).
+	// Omitted for local databases.
+	ShardWireVersions     []uint16 `json:"shard_wire_versions,omitempty"`
+	ShardTracePropagation []bool   `json:"shard_trace_propagation,omitempty"`
 }
 
 // PreparedStats is the /stats view of the prepared-plan tier.
@@ -301,6 +343,23 @@ func (h *Handler) stats(w http.ResponseWriter) {
 		resp.Mvcc = &ms
 		resp.Ingested = h.ingestedTuples.Load()
 	}
+	resp.Diagnostics = DiagnosticsStats{
+		SlowQueries:          h.slowQueries.Load(),
+		SlowQueryThresholdMS: h.slowQuery.Milliseconds(),
+	}
+	if h.obs != nil && h.obs.Profiles != nil {
+		resp.Diagnostics.ProfilesRetained = h.obs.Profiles.Len()
+		resp.Diagnostics.ProfileCapacity = h.obs.Profiles.Capacity()
+		resp.Diagnostics.ProfilesTotal = h.obs.Profiles.Total()
+	}
+	if vers, ok := h.db.ShardWireVersions(); ok {
+		resp.Diagnostics.ShardWireVersions = vers
+		tp := make([]bool, len(vers))
+		for i, v := range vers {
+			tp[i] = v >= 2
+		}
+		resp.Diagnostics.ShardTracePropagation = tp
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -323,6 +382,11 @@ type submission struct {
 	// trace is the run's bound-trajectory trace (nil when unobserved); the
 	// endpoint finishes it with the final snapshot once the ticket resolves.
 	trace *obs.RunTrace
+	// profile is the run's EXPLAIN ANALYZE accumulator (nil when neither
+	// ?explain=1 nor a slow-query threshold enabled it); explain reports
+	// whether the client asked for the profile in the response.
+	profile *obs.QueryProfile
+	explain bool
 }
 
 // finishTrace closes the submission's run trace with the final snapshot.
@@ -373,10 +437,28 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		http.Error(w, "bad request: handle and statements are mutually exclusive", http.StatusBadRequest)
 		return nil
 	}
+	explain := false
+	if v := r.URL.Query().Get("explain"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			http.Error(w, "bad request: explain must be a boolean", http.StatusBadRequest)
+			return nil
+		}
+		explain = b
+	}
+	// Profiling is armed by an explicit ?explain=1 or by the slow-query
+	// threshold (every request is then profiled so a slow one has its
+	// breakdown ready); otherwise no clocks are read and no profile exists.
+	wantProfile := explain || h.slowQuery > 0
+	var planStart time.Time
+	if wantProfile {
+		planStart = time.Now()
+	}
 	var (
-		batch repro.Batch
-		plan  *repro.Plan
-		perm  []int
+		batch      repro.Batch
+		plan       *repro.Plan
+		perm       []int
+		planSource string
 	)
 	if req.Handle != "" {
 		// Prepared execute: the plan (and its warmed schedule) is resident —
@@ -387,6 +469,7 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 			return nil
 		}
 		batch, plan = prep.Batch, prep.Plan
+		planSource = "registry-hit"
 		h.preparedExecs.Add(1)
 		if h.met != nil {
 			h.met.preparedExec.Inc()
@@ -412,12 +495,17 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		// (in any query order) reuses the resident plan, paying only the
 		// canonicalization. The permutation maps canonical result slots back
 		// to statement order.
-		pp, _, err := h.db.Prepare(batch)
+		pp, cached, err := h.db.Prepare(batch)
 		if err != nil {
 			http.Error(w, "planning failed: "+err.Error(), http.StatusBadRequest)
 			return nil
 		}
 		plan = pp.Plan()
+		if cached {
+			planSource = "cache-hit"
+		} else {
+			planSource = "built"
+		}
 		perm = make([]int, len(batch))
 		for i := range batch {
 			perm[i] = pp.CanonicalIndex(i)
@@ -430,6 +518,14 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	budget := req.Budget
 	if budget >= plan.DistinctCoefficients() {
 		budget = 0 // exact
+	}
+	var (
+		buildDur   time.Duration
+		setupStart time.Time
+	)
+	if wantProfile {
+		buildDur = time.Since(planStart)
+		setupStart = time.Now()
 	}
 	// Under MVCC the request pins one version for its whole lifetime:
 	// ?version=N pins a retained historical snapshot, otherwise the head at
@@ -491,18 +587,30 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 	} else {
 		run = h.db.NewRun(plan, repro.SSE())
 	}
+	reqID := obs.RequestID(r.Context())
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	label := req.Statements
+	if req.Handle != "" {
+		label = "handle:" + req.Handle
+	}
 	var trace *obs.RunTrace
 	if h.obs != nil && h.obs.Runs != nil {
-		id := obs.RequestID(r.Context())
-		if id == "" {
-			id = obs.NewRequestID()
-		}
-		stmts := req.Statements
-		if req.Handle != "" {
-			stmts = "handle:" + req.Handle
-		}
-		trace = h.obs.Runs.Start(id, stmts)
+		trace = h.obs.Runs.Start(reqID, label)
 		run.AttachTrace(trace, mass)
+	}
+	var prof *obs.QueryProfile
+	if wantProfile {
+		// The profile rides the submission context: the scheduler charges
+		// queue delay, and every storage tier under the run's StepBatchCtx
+		// (coalescing, layout, MVCC, shard coordinator and clients) records
+		// its share through obs.ProfileFrom.
+		prof = obs.NewQueryProfile(reqID, label)
+		prof.SetPlan(planSource, buildDur, time.Since(setupStart), len(batch), plan.DistinctCoefficients())
+		prof.AttachTrace(trace)
+		run.AttachProfile(prof)
+		ctx = obs.WithProfile(ctx, prof)
 	}
 	ticket, err := h.sched.Submit(ctx, sched.Job{
 		Run:      run,
@@ -525,7 +633,43 @@ func (h *Handler) admit(w http.ResponseWriter, r *http.Request) *submission {
 		return nil
 	}
 	return &submission{batch: batch, plan: plan, ticket: ticket, cancel: cancel, trace: trace, perm: perm,
-		snap: snap, version: version}
+		snap: snap, version: version, profile: prof, explain: explain}
+}
+
+// finishProfile closes the submission's profile: stamps the wall time,
+// applies the slow-query threshold (structured log record + counter),
+// records the snapshot in the observer's /debug/profiles ring, and returns
+// the snapshot when the client asked for it with ?explain=1 (nil otherwise,
+// and always nil for unprofiled requests).
+func (h *Handler) finishProfile(ctx context.Context, sub *submission) *obs.ProfileSnapshot {
+	p := sub.profile
+	if p == nil {
+		return nil
+	}
+	p.Finish()
+	if h.slowQuery > 0 && p.Wall() >= h.slowQuery {
+		p.MarkSlow()
+	}
+	snap := p.Snapshot()
+	if snap.Slow {
+		h.slowQueries.Add(1)
+		obs.Logger(ctx).Warn("slow query",
+			"label", snap.Label,
+			"wall_ms", float64(snap.WallNanos)/1e6,
+			"step_ms", float64(snap.StepNanos)/1e6,
+			"queue_ms", float64(snap.Plan.QueueNanos)/1e6,
+			"plan_source", snap.Plan.Source,
+			"steps", len(snap.Steps),
+			"shards", len(snap.Shards),
+			"threshold_ms", h.slowQuery.Milliseconds())
+	}
+	if h.obs != nil {
+		h.obs.Profiles.Add(snap)
+	}
+	if sub.explain {
+		return &snap
+	}
+	return nil
 }
 
 // response renders a progress snapshot in the /query wire shape.
@@ -564,6 +708,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	defer sub.release()
 	final, err := sub.ticket.Final()
 	sub.finishTrace(final)
+	profSnap := h.finishProfile(r.Context(), sub)
 	// A degraded result is a partial answer with bounds: 206, not 200.
 	status := http.StatusOK
 	if final.Degraded {
@@ -574,11 +719,15 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case err == nil:
-		writeJSON(w, status, sub.response(final, false))
+		resp := sub.response(final, false)
+		resp.Profile = profSnap
+		writeJSON(w, status, resp)
 	case errors.Is(err, context.DeadlineExceeded) && final.Retrieved > 0:
 		// The latency budget expired: the progressive state reached is still
 		// a valid answer with bounds — exactly what progressiveness buys.
-		writeJSON(w, status, sub.response(final, true))
+		resp := sub.response(final, true)
+		resp.Profile = profSnap
+		writeJSON(w, status, resp)
 	default:
 		http.Error(w, "query cancelled: "+err.Error(), http.StatusServiceUnavailable)
 	}

@@ -16,6 +16,8 @@ import (
 //	                   bounds tighten monotonically as retrievals grow
 //	event: done      — final state (exact, or the budget/deadline cut)
 //	event: error     — the run was cancelled before producing a result
+//	event: profile   — terminal EXPLAIN ANALYZE snapshot (only with
+//	                   ?explain=1; follows done or error)
 //
 // The stream is driven by the scheduler's latest-wins progress channel: a
 // slow client skips intermediate snapshots instead of stalling the run.
@@ -54,6 +56,7 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 		case <-sub.ticket.Done():
 			final, err := sub.ticket.Final()
 			sub.finishTrace(final)
+			profSnap := h.finishProfile(r.Context(), sub)
 			if final.Degraded && h.met != nil {
 				h.met.degraded.Inc()
 			}
@@ -64,6 +67,12 @@ func (h *Handler) stream(w http.ResponseWriter, r *http.Request) {
 				writeEvent(w, flusher, "done", sub.response(final, true))
 			default:
 				writeEvent(w, flusher, "error", map[string]string{"error": err.Error()})
+			}
+			// ?explain=1 streams end with the profile as its own terminal
+			// event, keeping the "done" payload identical to the unprofiled
+			// shape.
+			if profSnap != nil {
+				writeEvent(w, flusher, "profile", profSnap)
 			}
 			return
 		}

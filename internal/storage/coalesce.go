@@ -246,6 +246,9 @@ func (s *CoalescingStore) BatchGetCtx(ctx context.Context, keys []int, dst []flo
 
 	sp.SetAttr("leads", strconv.Itoa(len(leadKeys)))
 	sp.SetAttr("joins", strconv.Itoa(len(joins)))
+	// EXPLAIN ANALYZE attribution: requested vs physically fetched (leads)
+	// vs served by joining another key's flight. Nil profile = no-op.
+	obs.ProfileFrom(ctx).AddCoalesce(len(keys), len(leadKeys), len(joins))
 
 	var whole error // non-batch failure of the lead fetch
 	if len(leadKeys) > 0 {

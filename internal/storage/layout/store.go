@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -578,6 +579,18 @@ func (s *Store) BatchGetCtx(ctx context.Context, keys []int, dst []float64) erro
 		return err
 	}
 	s.retrievals.Add(int64(len(keys)))
+	// EXPLAIN ANALYZE tier attribution: snapshot the tier counters around
+	// this call and record the deltas. Exact for a run draining alone,
+	// approximate (shared deltas) when concurrent runs interleave — the
+	// counters are store-global. Nil profile skips the snapshots entirely.
+	if prof := obs.ProfileFrom(ctx); prof != nil {
+		hot0, cold0 := s.hotHits.Load(), s.coldHits.Load()
+		loads0, preads0 := s.blockLoads.Load(), s.preads.Load()
+		defer func() {
+			prof.AddLayout(s.hotHits.Load()-hot0, s.coldHits.Load()-cold0,
+				s.blockLoads.Load()-loads0, s.preads.Load()-preads0)
+		}()
+	}
 	var failed []storage.KeyError
 	i, checked := 0, 0
 	for i < len(keys) {
